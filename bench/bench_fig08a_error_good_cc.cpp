@@ -1,0 +1,9 @@
+// Figure 8a: error-rate comparison as data grows, S_all_DC + S_good_CC.
+
+#include "fig08_common.h"
+
+int main(int argc, char** argv) {
+  return cextend::bench::RunFigure8(
+      argc, argv, /*bad_ccs=*/false,
+      "Figure 8a — CC/DC error vs scale (S_all_DC, S_good_CC)");
+}

@@ -1,0 +1,9 @@
+// Figure 8b: error-rate comparison as data grows, S_all_DC + S_bad_CC.
+
+#include "fig08_common.h"
+
+int main(int argc, char** argv) {
+  return cextend::bench::RunFigure8(
+      argc, argv, /*bad_ccs=*/true,
+      "Figure 8b — CC/DC error vs scale (S_all_DC, S_bad_CC)");
+}

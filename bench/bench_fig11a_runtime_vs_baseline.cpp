@@ -1,0 +1,42 @@
+// Figure 11a: runtime comparison between the baselines and the hybrid, with
+// the phase I / phase II split (the paper shades phase II), for S_all_DC and
+// S_bad_CC at two scales.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "util/string_util.h"
+
+using namespace cextend;
+using namespace cextend::bench;
+
+int main(int argc, char** argv) {
+  HarnessOptions options = HarnessOptions::FromArgs(argc, argv);
+  PrintBanner(
+      "Figure 11a — runtime, baseline vs hybrid (S_all_DC, S_bad_CC)",
+      options);
+  std::printf("%7s %-14s %12s %12s %12s\n", "scale", "method", "phase1",
+              "phase2", "total");
+  for (double scale :
+       ClipScales({options.max_scale / 4, options.max_scale},
+                  options.max_scale)) {
+    auto dataset = MakeDataset(options, scale, /*bad_ccs=*/true,
+                               /*all_dcs=*/true);
+    CEXTEND_CHECK(dataset.ok()) << dataset.status().ToString();
+    for (Method method : {Method::kBaseline, Method::kBaselineMarginals,
+                          Method::kHybrid}) {
+      auto run = RunMethod(dataset.value(), method, options);
+      CEXTEND_CHECK(run.ok()) << run.status().ToString();
+      std::printf("%6.0fx %-14s %12s %12s %12s\n", scale, MethodName(method),
+                  FormatDuration(run->stats.phase1_seconds).c_str(),
+                  FormatDuration(run->stats.phase2_seconds).c_str(),
+                  FormatDuration(run->stats.total_seconds).c_str());
+    }
+  }
+  std::printf(
+      "# paper shape: baselines spend almost everything in phase I (one big\n"
+      "# ILP) and nearly nothing in phase II (random assignment); the hybrid\n"
+      "# splits the CC set, so its phase I is the fastest while its phase II\n"
+      "# does the real coloring work.\n");
+  return 0;
+}

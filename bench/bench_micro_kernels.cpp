@@ -1,0 +1,118 @@
+// Micro-benchmarks (google-benchmark) for the algorithmic kernels: simplex
+// LP solves, greedy list coloring, CC pairwise classification, and binning.
+
+#include <benchmark/benchmark.h>
+
+#include "constraints/relationship.h"
+#include "core/binning.h"
+#include "core/join_view.h"
+#include "datagen/census.h"
+#include "datagen/constraint_gen.h"
+#include "graph/hypergraph.h"
+#include "graph/list_coloring.h"
+#include "ilp/solver.h"
+#include "util/rng.h"
+
+namespace cextend {
+namespace {
+
+// ---- Simplex on random dense feasible LPs. ----
+void BM_SimplexRandomLp(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t m = n / 2;
+  Rng rng(7);
+  ilp::Model model;
+  std::vector<double> witness(n);
+  for (size_t j = 0; j < n; ++j) {
+    model.AddVariable(1.0, false);
+    witness[j] = static_cast<double>(rng.UniformInt(0, 5));
+  }
+  for (size_t i = 0; i < m; ++i) {
+    std::vector<ilp::LinearTerm> terms;
+    double rhs = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (rng.Bernoulli(0.3)) {
+        terms.push_back({static_cast<int>(j), 1.0});
+        rhs += witness[j];
+      }
+    }
+    if (terms.empty()) continue;
+    model.AddConstraint(std::move(terms), ilp::Sense::kEq, rhs);
+  }
+  for (auto _ : state) {
+    ilp::LpResult result = ilp::SolveLp(model);
+    benchmark::DoNotOptimize(result.objective);
+  }
+}
+BENCHMARK(BM_SimplexRandomLp)->Arg(32)->Arg(128)->Arg(512);
+
+// ---- Greedy list coloring on random graphs. ----
+void BM_GreedyColoring(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  Hypergraph g(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(8.0 / static_cast<double>(n))) {
+        g.AddEdge({static_cast<int>(i), static_cast<int>(j)});
+      }
+    }
+  }
+  std::vector<int64_t> candidates;
+  for (int64_t c = 0; c < 32; ++c) candidates.push_back(c);
+  for (auto _ : state) {
+    ListColoringResult result = GreedyListColoring(g, {}, candidates);
+    benchmark::DoNotOptimize(result.colors.data());
+  }
+}
+BENCHMARK(BM_GreedyColoring)->Arg(256)->Arg(1024)->Arg(4096);
+
+// ---- CC pairwise classification. ----
+void BM_ClassifyAll(benchmark::State& state) {
+  size_t num_ccs = static_cast<size_t>(state.range(0));
+  datagen::CensusOptions census;
+  census.num_persons = 1000;
+  census.num_households = 400;
+  auto data = datagen::GenerateCensus(census);
+  CEXTEND_CHECK(data.ok());
+  datagen::CcFamilyOptions cc_options;
+  cc_options.num_ccs = num_ccs;
+  auto ccs = datagen::GenerateCcs(data.value(), cc_options);
+  CEXTEND_CHECK(ccs.ok());
+  auto v = MakeJoinView(data->persons, data->housing, data->names);
+  CEXTEND_CHECK(v.ok());
+  for (auto _ : state) {
+    auto matrix = ClassifyAll(*ccs, v->schema(), data->housing.schema());
+    CEXTEND_CHECK(matrix.ok());
+    benchmark::DoNotOptimize(matrix->matrix.data());
+  }
+  state.SetComplexityN(static_cast<int64_t>(num_ccs));
+}
+BENCHMARK(BM_ClassifyAll)->Arg(64)->Arg(201)->Arg(400)->Complexity();
+
+// ---- Binning (intervalization + assignment). ----
+void BM_Binning(benchmark::State& state) {
+  size_t persons = static_cast<size_t>(state.range(0));
+  datagen::CensusOptions census;
+  census.num_persons = persons;
+  census.num_households = persons * 2 / 5;
+  auto data = datagen::GenerateCensus(census);
+  CEXTEND_CHECK(data.ok());
+  datagen::CcFamilyOptions cc_options;
+  cc_options.num_ccs = 100;
+  auto ccs = datagen::GenerateCcs(data.value(), cc_options);
+  CEXTEND_CHECK(ccs.ok());
+  auto v = MakeJoinView(data->persons, data->housing, data->names);
+  CEXTEND_CHECK(v.ok());
+  for (auto _ : state) {
+    auto binning = Binning::Create(v.value(), data->names.r1_attrs, *ccs);
+    CEXTEND_CHECK(binning.ok());
+    benchmark::DoNotOptimize(binning->num_bins());
+  }
+}
+BENCHMARK(BM_Binning)->Arg(2500)->Arg(10000);
+
+}  // namespace
+}  // namespace cextend
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Table 1: data scales given by the number of tuples. Regenerates the
+// Persons/Housing/V_join row counts at every paper scale (proportional to the
+// configured unit) and reports generation time.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+using namespace cextend;
+using namespace cextend::bench;
+
+int main(int argc, char** argv) {
+  HarnessOptions options = HarnessOptions::FromArgs(argc, argv);
+  PrintBanner("Table 1 — data scales (number of tuples)", options);
+  std::printf("%8s %12s %12s %12s %10s\n", "scale", "persons", "housing",
+              "v_join", "gen_time");
+  for (double scale : ClipScales({1, 2, 5, 10, 40, 80, 120, 160},
+                                 options.max_scale * 16)) {
+    Stopwatch watch;
+    auto dataset = MakeDataset(options, scale, /*bad_ccs=*/false,
+                               /*all_dcs=*/true);
+    if (!dataset.ok()) {
+      std::printf("%8.0fx  generation failed: %s\n", scale,
+                  dataset.status().ToString().c_str());
+      continue;
+    }
+    auto v_join = MakeJoinView(dataset->data.persons, dataset->data.housing,
+                               dataset->data.names);
+    CEXTEND_CHECK(v_join.ok());
+    std::printf("%7.0fx %12zu %12zu %12zu %10s\n", scale,
+                dataset->data.persons.NumRows(),
+                dataset->data.housing.NumRows(), v_join->NumRows(),
+                FormatDuration(watch.ElapsedSeconds()).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared implementation of the Figure 8 error-comparison benches.
+
+#ifndef CEXTEND_BENCH_FIG08_COMMON_H_
+#define CEXTEND_BENCH_FIG08_COMMON_H_
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace cextend {
+namespace bench {
+
+/// Runs the Figure 8 experiment: median CC error and DC error for baseline,
+/// baseline-with-marginals and hybrid as data grows, with S_all_DC and the
+/// requested CC family.
+inline int RunFigure8(int argc, char** argv, bool bad_ccs,
+                      const char* title) {
+  HarnessOptions options = HarnessOptions::FromArgs(argc, argv);
+  PrintBanner(title, options);
+  std::printf(
+      "%7s | %15s %15s %15s | %8s %8s %8s\n", "scale", "cc_base(med/mean)",
+      "cc_marg(med/mean)", "cc_hyb(med/mean)", "dc_base", "dc_marg",
+      "dc_hyb");
+  for (double scale : ClipScales({1, 2, 5, 10, 40}, options.max_scale)) {
+    auto dataset = MakeDataset(options, scale, bad_ccs, /*all_dcs=*/true);
+    CEXTEND_CHECK(dataset.ok()) << dataset.status().ToString();
+    double cc_med[3];
+    double cc_mean[3];
+    double dc_err[3];
+    const Method methods[3] = {Method::kBaseline, Method::kBaselineMarginals,
+                               Method::kHybrid};
+    for (int m = 0; m < 3; ++m) {
+      auto run = RunMethod(dataset.value(), methods[m], options);
+      CEXTEND_CHECK(run.ok()) << run.status().ToString();
+      cc_med[m] = run->cc.median;
+      cc_mean[m] = run->cc.mean;
+      dc_err[m] = run->dc.error;
+    }
+    std::printf(
+        "%6.0fx |   %5.3f/%-7.3f   %5.3f/%-7.3f   %5.3f/%-7.3f | %8.3f "
+        "%8.3f %8.3f\n",
+        scale, cc_med[0], cc_mean[0], cc_med[1], cc_mean[1], cc_med[2],
+        cc_mean[2], dc_err[0], dc_err[1], dc_err[2]);
+  }
+  std::printf(
+      "# paper shape: hybrid CC error = 0 and DC error = 0 everywhere;\n"
+      "# the baselines keep a large DC error (0.2-0.6), and the plain\n"
+      "# baseline carries CC error in its tail (see Figure 9's\n"
+      "# distribution; medians need paper-scale counts to move off 0\n"
+      "# because of the max(10, c) denominator).\n");
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace cextend
+
+#endif  // CEXTEND_BENCH_FIG08_COMMON_H_

@@ -1,0 +1,82 @@
+// Shared experiment harness for the paper-reproduction benchmarks.
+//
+// Scale control: the paper's 1x is 25,099 persons / 9,820 households. The
+// default *unit* here is one tenth of that so the full default sweep finishes
+// in minutes on a laptop; pass --paper (or CEXTEND_PAPER=1) for the exact
+// Table-1 sizes and the 1001-CC constraint sets.
+
+#ifndef CEXTEND_BENCH_HARNESS_H_
+#define CEXTEND_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "constraints/metrics.h"
+#include "core/baseline.h"
+#include "core/solver.h"
+#include "datagen/census.h"
+#include "datagen/constraint_gen.h"
+
+namespace cextend {
+namespace bench {
+
+struct HarnessOptions {
+  size_t unit_persons = 2510;     ///< persons at scale 1x
+  size_t unit_households = 982;   ///< households at scale 1x
+  size_t num_ccs = 201;           ///< |S_CC| (paper: 1001)
+  uint64_t seed = 42;
+  size_t threads = 1;             ///< phase-II coloring threads
+  double max_scale = 10.0;        ///< clip for scale sweeps
+
+  /// Parses --unit=N --households=N --num-ccs=N --seed=N --threads=N
+  /// --max-scale=X --paper, plus the CEXTEND_PAPER / CEXTEND_UNIT /
+  /// CEXTEND_NUM_CCS / CEXTEND_MAX_SCALE environment variables.
+  static HarnessOptions FromArgs(int argc, char** argv);
+
+  std::string Describe() const;
+};
+
+struct Dataset {
+  datagen::CensusData data;
+  std::vector<CardinalityConstraint> ccs;
+  std::vector<DenialConstraint> dcs;
+  double scale = 1.0;
+};
+
+/// Generates the census data and constraint sets for one experiment cell.
+StatusOr<Dataset> MakeDataset(const HarnessOptions& options, double scale,
+                              bool bad_ccs, bool all_dcs,
+                              size_t num_r2_columns = 2,
+                              size_t num_ccs_override = 0);
+
+enum class Method {
+  kHybrid,
+  kBaseline,
+  kBaselineMarginals,
+};
+
+const char* MethodName(Method method);
+
+struct RunResult {
+  SolveStats stats;
+  CcErrorReport cc;
+  DcErrorReport dc;
+  size_t new_r2_tuples = 0;
+  double seconds = 0.0;
+};
+
+/// Runs one method over the dataset and evaluates both error measures.
+StatusOr<RunResult> RunMethod(const Dataset& dataset, Method method,
+                              const HarnessOptions& options);
+
+/// Prints the standard bench banner.
+void PrintBanner(const std::string& title, const HarnessOptions& options);
+
+/// Scale sweep lists clipped to options.max_scale.
+std::vector<double> ClipScales(std::vector<double> scales, double max_scale);
+
+}  // namespace bench
+}  // namespace cextend
+
+#endif  // CEXTEND_BENCH_HARNESS_H_

@@ -1,0 +1,69 @@
+// The NP-hardness reduction of Proposition 2.8, executed: encode an NAE-3SAT
+// formula as a C-Extension instance, run the (heuristic) solver, decode the
+// Chosen column back into a boolean assignment and compare with brute force.
+//
+// The solver guarantees the DCs but may add artificial R2 tuples when its
+// heuristics fail to find a proper 2-coloring — precisely the gap that makes
+// the decision problem NP-hard.
+//
+//   $ ./examples/nae3sat_reduction [num_vars] [num_clauses] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "constraints/metrics.h"
+#include "core/solver.h"
+#include "datagen/nae3sat.h"
+
+using namespace cextend;
+using namespace cextend::datagen;
+
+int main(int argc, char** argv) {
+  int num_vars = argc > 1 ? atoi(argv[1]) : 8;
+  int num_clauses = argc > 2 ? atoi(argv[2]) : 12;
+  uint64_t seed = argc > 3 ? static_cast<uint64_t>(atoll(argv[3])) : 7;
+
+  Rng rng(seed);
+  Nae3SatInstance instance = RandomNae3Sat(num_vars, num_clauses, rng);
+  std::printf("NAE-3SAT instance: %d vars, %d clauses\n", num_vars,
+              num_clauses);
+
+  auto ground_truth = BruteForceNae(instance);
+  std::printf("brute force: %s\n",
+              ground_truth.has_value() ? "NAE-satisfiable"
+                                       : "NOT NAE-satisfiable");
+
+  auto enc = EncodeNae3Sat(instance);
+  CEXTEND_CHECK(enc.ok()) << enc.status().ToString();
+  std::printf("encoded as R1 with %zu rows, R2 with %zu rows, %zu DCs\n",
+              enc->r1.NumRows(), enc->r2.NumRows(), enc->dcs.size());
+
+  auto solution =
+      SolveCExtension(enc->r1, enc->r2, enc->names, {}, enc->dcs, {});
+  CEXTEND_CHECK(solution.ok()) << solution.status().ToString();
+
+  auto dc_report = EvaluateDcError(enc->dcs, solution->r1_hat, "Chosen");
+  CEXTEND_CHECK(dc_report.ok());
+  std::printf("solver output: %s\n", dc_report->Summary().c_str());
+
+  size_t added = solution->r2_hat.NumRows() - enc->r2.NumRows();
+  if (added == 0) {
+    // A clean completion decodes into a genuine NAE witness.
+    auto decoded = DecodeAssignment(instance, solution->r1_hat);
+    if (decoded.has_value() && IsNaeSatisfying(instance, *decoded)) {
+      std::printf("solver found a proper completion -> decoded NAE witness: ");
+      for (bool b : *decoded) std::printf("%d", b ? 1 : 0);
+      std::printf("\n");
+    } else {
+      std::printf("completion decoded but is not a witness (heuristic)\n");
+    }
+  } else {
+    std::printf(
+        "solver added %zu artificial R2 tuples (heuristic could not 2-color"
+        " the conflict graph%s)\n",
+        added,
+        ground_truth.has_value() ? "; a witness does exist"
+                                 : " — none exists, as brute force confirms");
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Motivating use case from the paper's introduction: releasing synthetic
+// linked data when only *noisy* (differentially private) counts of the real
+// data are available. The curator publishes Laplace-noised CC targets; the
+// solver synthesizes a database consistent with those answers *and* with the
+// integrity constraints — giving analysts a DC-clean stand-in to develop
+// against before being granted access to the real data.
+//
+//   $ ./examples/private_release [epsilon]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "constraints/metrics.h"
+#include "core/solver.h"
+#include "datagen/census.h"
+#include "datagen/constraint_gen.h"
+#include "util/rng.h"
+
+using namespace cextend;
+using namespace cextend::datagen;
+
+namespace {
+
+/// Laplace(0, scale) noise via inverse CDF.
+double LaplaceNoise(Rng& rng, double scale) {
+  double u = rng.UniformDouble() - 0.5;
+  return -scale * (u < 0 ? -1.0 : 1.0) * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double epsilon = argc > 1 ? atof(argv[1]) : 1.0;
+
+  CensusOptions census;
+  census.num_persons = 5000;
+  census.num_households = 1950;
+  auto data = GenerateCensus(census);
+  CEXTEND_CHECK(data.ok());
+
+  CcFamilyOptions cc_options;
+  cc_options.num_ccs = 150;
+  auto ccs = GenerateCcs(data.value(), cc_options);
+  CEXTEND_CHECK(ccs.ok());
+  std::vector<DenialConstraint> dcs = MakeCensusDcs(false);
+
+  // The "curator": each CC answer gets Laplace(1/epsilon) noise (each person
+  // contributes to one household, sensitivity 1 per count query).
+  Rng rng(99);
+  std::vector<CardinalityConstraint> noisy = *ccs;
+  double scale = 1.0 / epsilon;
+  for (CardinalityConstraint& cc : noisy) {
+    cc.target = std::max<int64_t>(
+        0, cc.target + static_cast<int64_t>(std::llround(
+                           LaplaceNoise(rng, scale))));
+  }
+
+  std::printf(
+      "Synthesizing linked data from %zu DP count answers (epsilon=%.2f)\n",
+      noisy.size(), epsilon);
+  auto solution = SolveCExtension(data->persons, data->housing, data->names,
+                                  noisy, dcs, {});
+  CEXTEND_CHECK(solution.ok()) << solution.status().ToString();
+
+  // Consistency with the *published* (noisy) answers.
+  auto vs_noisy = EvaluateCcError(noisy, solution->v_join);
+  // Fidelity to the hidden true counts (bounded by the injected noise).
+  auto vs_true = EvaluateCcError(*ccs, solution->v_join);
+  auto dc_report = EvaluateDcError(dcs, solution->r1_hat, "hid");
+  CEXTEND_CHECK(vs_noisy.ok() && vs_true.ok() && dc_report.ok());
+
+  std::printf("consistency with published answers: %s\n",
+              vs_noisy->Summary().c_str());
+  std::printf("fidelity to hidden true counts:     %s\n",
+              vs_true->Summary().c_str());
+  std::printf("integrity: %s\n", dc_report->Summary().c_str());
+  std::printf(
+      "The released pair (persons_hat, housing_hat) satisfies every DC "
+      "regardless of the noise level —\nthe noise only shows up as CC "
+      "deviation, never as integrity violations.\n");
+  return 0;
+}

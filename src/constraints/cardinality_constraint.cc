@@ -1,0 +1,3 @@
+#include "constraints/cardinality_constraint.h"
+
+// Header-only today; this TU anchors the target and keeps room for growth.

@@ -1,0 +1,42 @@
+// Linear cardinality constraints over the foreign-key join view
+// (Definition 2.4):   |σ_φ(R1 ⋈_{FK=K2} R2)| = k
+// where φ is a conjunctive selection over non-key attributes of R1 and R2.
+// The two halves of φ are kept separate because the algorithms treat
+// R1-side and R2-side conditions differently (Definitions 4.2-4.4).
+
+#ifndef CEXTEND_CONSTRAINTS_CARDINALITY_CONSTRAINT_H_
+#define CEXTEND_CONSTRAINTS_CARDINALITY_CONSTRAINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/predicate.h"
+
+namespace cextend {
+
+struct CardinalityConstraint {
+  /// Display name, e.g. "CC1".
+  std::string name;
+  /// Selection over R1's non-key attributes (A1..Ap).
+  Predicate r1_condition;
+  /// Selection over R2's non-key attributes (B1..Bq).
+  Predicate r2_condition;
+  /// Required count of matching join-view tuples.
+  int64_t target = 0;
+
+  /// The full selection φ over the join view (R1 and R2 column names are
+  /// disjoint by construction, so a plain conjunction is well-formed).
+  Predicate JoinCondition() const {
+    return r1_condition.AndWith(r2_condition);
+  }
+
+  std::string ToString() const {
+    return name + ": |sigma(" + r1_condition.ToString() + " ; " +
+           r2_condition.ToString() + ")| = " + std::to_string(target);
+  }
+};
+
+}  // namespace cextend
+
+#endif  // CEXTEND_CONSTRAINTS_CARDINALITY_CONSTRAINT_H_

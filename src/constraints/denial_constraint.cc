@@ -1,0 +1,269 @@
+#include "constraints/denial_constraint.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cextend {
+
+std::string DcAtom::ToString() const {
+  std::string lhs = StrFormat("t%d.%s", lhs_tuple, lhs_column.c_str());
+  if (is_binary) {
+    std::string rhs = StrFormat("t%d.%s", rhs_tuple, rhs_column.c_str());
+    if (offset > 0) rhs += StrFormat("+%lld", static_cast<long long>(offset));
+    if (offset < 0) rhs += StrFormat("%lld", static_cast<long long>(offset));
+    return lhs + " " + CompareOpToString(op) + " " + rhs;
+  }
+  if (op == CompareOp::kIn) {
+    std::string out = lhs + " IN {";
+    for (size_t i = 0; i < rhs_values.size(); ++i) {
+      if (i > 0) out += ",";
+      out += rhs_values[i].ToString();
+    }
+    return out + "}";
+  }
+  return lhs + " " + CompareOpToString(op) + " " + rhs_value.ToString();
+}
+
+DenialConstraint& DenialConstraint::Unary(int tuple, std::string column,
+                                          CompareOp op, Value value) {
+  CEXTEND_CHECK(tuple >= 0 && tuple < arity_);
+  DcAtom a;
+  a.is_binary = false;
+  a.lhs_tuple = tuple;
+  a.lhs_column = std::move(column);
+  a.op = op;
+  a.rhs_value = std::move(value);
+  atoms_.push_back(std::move(a));
+  return *this;
+}
+
+DenialConstraint& DenialConstraint::UnaryIn(int tuple, std::string column,
+                                            std::vector<Value> values) {
+  CEXTEND_CHECK(tuple >= 0 && tuple < arity_);
+  DcAtom a;
+  a.is_binary = false;
+  a.lhs_tuple = tuple;
+  a.lhs_column = std::move(column);
+  a.op = CompareOp::kIn;
+  a.rhs_values = std::move(values);
+  atoms_.push_back(std::move(a));
+  return *this;
+}
+
+DenialConstraint& DenialConstraint::Binary(int lhs, std::string lhs_col,
+                                           CompareOp op, int rhs,
+                                           std::string rhs_col,
+                                           int64_t offset) {
+  CEXTEND_CHECK(lhs >= 0 && lhs < arity_);
+  CEXTEND_CHECK(rhs >= 0 && rhs < arity_);
+  DcAtom a;
+  a.is_binary = true;
+  a.lhs_tuple = lhs;
+  a.lhs_column = std::move(lhs_col);
+  a.op = op;
+  a.rhs_tuple = rhs;
+  a.rhs_column = std::move(rhs_col);
+  a.offset = offset;
+  atoms_.push_back(std::move(a));
+  return *this;
+}
+
+std::string DenialConstraint::ToString() const {
+  std::string out = name_ + ": forall t0..t" + std::to_string(arity_ - 1) +
+                    " NOT(";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += atoms_[i].ToString();
+  }
+  out += " AND sharedFK)";
+  return out;
+}
+
+StatusOr<BoundDenialConstraint> BoundDenialConstraint::Bind(
+    const DenialConstraint& dc, const Table& table) {
+  BoundDenialConstraint bound;
+  bound.arity_ = dc.arity();
+  const Schema& schema = table.schema();
+  for (const DcAtom& atom : dc.atoms()) {
+    auto lhs_col = schema.IndexOf(atom.lhs_column);
+    if (!lhs_col.has_value()) {
+      return Status::InvalidArgument("DC references unknown column " +
+                                     atom.lhs_column);
+    }
+    if (atom.is_binary) {
+      auto rhs_col = schema.IndexOf(atom.rhs_column);
+      if (!rhs_col.has_value()) {
+        return Status::InvalidArgument("DC references unknown column " +
+                                       atom.rhs_column);
+      }
+      bool lhs_is_string =
+          schema.column(*lhs_col).type == DataType::kString;
+      bool rhs_is_string =
+          schema.column(*rhs_col).type == DataType::kString;
+      if (lhs_is_string != rhs_is_string) {
+        return Status::InvalidArgument("DC compares mixed column types: " +
+                                       atom.ToString());
+      }
+      if (lhs_is_string &&
+          (atom.offset != 0 ||
+           (atom.op != CompareOp::kEq && atom.op != CompareOp::kNe))) {
+        return Status::InvalidArgument(
+            "string columns support only =/!= with no offset: " +
+            atom.ToString());
+      }
+      if (lhs_is_string &&
+          table.dictionary(*lhs_col) != table.dictionary(*rhs_col) &&
+          atom.lhs_column != atom.rhs_column) {
+        // Codes from different dictionaries are not comparable; the census
+        // DCs only ever compare a column with itself, so reject otherwise.
+        return Status::InvalidArgument(
+            "cross-dictionary string comparison: " + atom.ToString());
+      }
+      bound.binary_.push_back(BoundBinary{atom.lhs_tuple, *lhs_col, atom.op,
+                                          atom.rhs_tuple, *rhs_col,
+                                          atom.offset});
+    } else {
+      BoundUnary u;
+      u.tuple = atom.lhs_tuple;
+      u.col = *lhs_col;
+      u.op = atom.op;
+      u.never_matches = false;
+      bool is_ordering =
+          atom.op == CompareOp::kLt || atom.op == CompareOp::kLe ||
+          atom.op == CompareOp::kGt || atom.op == CompareOp::kGe;
+      if (schema.column(*lhs_col).type == DataType::kString && is_ordering) {
+        return Status::InvalidArgument(
+            "ordering comparison on string column: " + atom.ToString());
+      }
+      if (atom.op == CompareOp::kIn) {
+        for (const Value& v : atom.rhs_values) {
+          auto code = table.FindCode(*lhs_col, v);
+          if (code.has_value() && *code != kNullCode)
+            u.rhs_set.push_back(*code);
+        }
+        std::sort(u.rhs_set.begin(), u.rhs_set.end());
+        if (u.rhs_set.empty()) u.never_matches = true;
+      } else {
+        auto code = table.FindCode(*lhs_col, atom.rhs_value);
+        if (!code.has_value()) {
+          if (atom.op == CompareOp::kEq) {
+            u.never_matches = true;
+          } else if (atom.op == CompareOp::kNe) {
+            u.op = CompareOp::kNe;
+            u.rhs = kNullCode;  // != NULL: all non-null cells match
+          } else {
+            return Status::InvalidArgument("bad constant in DC atom: " +
+                                           atom.ToString());
+          }
+        } else {
+          u.rhs = *code;
+        }
+      }
+      bound.unary_.push_back(std::move(u));
+    }
+  }
+  return bound;
+}
+
+bool BoundDenialConstraint::EvalUnary(const BoundUnary& a, int64_t cell) {
+  if (a.never_matches) return false;
+  if (cell == kNullCode) return false;
+  switch (a.op) {
+    case CompareOp::kEq:
+      return cell == a.rhs;
+    case CompareOp::kNe:
+      return a.rhs == kNullCode || cell != a.rhs;
+    case CompareOp::kLt:
+      return cell < a.rhs;
+    case CompareOp::kLe:
+      return cell <= a.rhs;
+    case CompareOp::kGt:
+      return cell > a.rhs;
+    case CompareOp::kGe:
+      return cell >= a.rhs;
+    case CompareOp::kIn:
+      return std::binary_search(a.rhs_set.begin(), a.rhs_set.end(), cell);
+  }
+  return false;
+}
+
+bool BoundDenialConstraint::BodyHolds(const Table& table,
+                                      const std::vector<uint32_t>& rows) const {
+  CEXTEND_DCHECK(static_cast<int>(rows.size()) == arity_);
+  for (const BoundUnary& a : unary_) {
+    if (!EvalUnary(a, table.GetCode(rows[static_cast<size_t>(a.tuple)], a.col)))
+      return false;
+  }
+  return CrossAtomsHold(table, rows);
+}
+
+bool BoundDenialConstraint::BodyHoldsUnordered(
+    const Table& table, std::vector<uint32_t> rows) const {
+  CEXTEND_CHECK(static_cast<int>(rows.size()) == arity_);
+  std::sort(rows.begin(), rows.end());
+  do {
+    if (BodyHolds(table, rows)) return true;
+  } while (std::next_permutation(rows.begin(), rows.end()));
+  return false;
+}
+
+bool BoundDenialConstraint::SideMatches(const Table& table, uint32_t row,
+                                        int var) const {
+  for (const BoundUnary& a : unary_) {
+    if (a.tuple != var) continue;
+    if (!EvalUnary(a, table.GetCode(row, a.col))) return false;
+  }
+  return true;
+}
+
+bool BoundDenialConstraint::CrossAtomsHold(
+    const Table& table, const std::vector<uint32_t>& rows) const {
+  for (const BoundBinary& b : binary_) {
+    int64_t lhs = table.GetCode(rows[static_cast<size_t>(b.lhs_tuple)], b.lhs_col);
+    int64_t rhs = table.GetCode(rows[static_cast<size_t>(b.rhs_tuple)], b.rhs_col);
+    if (lhs == kNullCode || rhs == kNullCode) return false;
+    rhs += b.offset;
+    bool ok = false;
+    switch (b.op) {
+      case CompareOp::kEq:
+        ok = lhs == rhs;
+        break;
+      case CompareOp::kNe:
+        ok = lhs != rhs;
+        break;
+      case CompareOp::kLt:
+        ok = lhs < rhs;
+        break;
+      case CompareOp::kLe:
+        ok = lhs <= rhs;
+        break;
+      case CompareOp::kGt:
+        ok = lhs > rhs;
+        break;
+      case CompareOp::kGe:
+        ok = lhs >= rhs;
+        break;
+      case CompareOp::kIn:
+        ok = false;  // IN is unary-only
+        break;
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+StatusOr<std::vector<BoundDenialConstraint>> BindAll(
+    const std::vector<DenialConstraint>& dcs, const Table& table) {
+  std::vector<BoundDenialConstraint> out;
+  out.reserve(dcs.size());
+  for (const DenialConstraint& dc : dcs) {
+    CEXTEND_ASSIGN_OR_RETURN(BoundDenialConstraint b,
+                             BoundDenialConstraint::Bind(dc, table));
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace cextend

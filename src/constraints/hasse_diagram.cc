@@ -1,0 +1,127 @@
+#include "constraints/hasse_diagram.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace cextend {
+namespace {
+
+/// Union-find for component computation.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+HasseDiagram HasseDiagram::Build(const CcRelationMatrix& rel) {
+  size_t n = rel.size();
+  HasseDiagram d;
+  d.children_.assign(n, {});
+  d.parents_.assign(n, {});
+
+  // strict_supersets[i] = all j with cc_i ⊂ cc_j (strictly).
+  std::vector<std::vector<int>> strict_supersets(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (rel.At(i, j) == CcRelation::kFirstInSecond) {
+        strict_supersets[i].push_back(static_cast<int>(j));
+      }
+    }
+  }
+
+  // Covering edges: j covers i iff j ∈ supersets(i) and no k ∈ supersets(i)
+  // with k ⊂ j.
+  for (size_t i = 0; i < n; ++i) {
+    for (int j : strict_supersets[i]) {
+      bool covering = true;
+      for (int k : strict_supersets[i]) {
+        if (k == j) continue;
+        if (rel.At(static_cast<size_t>(k), static_cast<size_t>(j)) ==
+            CcRelation::kFirstInSecond) {
+          covering = false;
+          break;
+        }
+      }
+      if (covering) {
+        d.children_[static_cast<size_t>(j)].push_back(static_cast<int>(i));
+        d.parents_[i].push_back(j);
+      }
+    }
+  }
+
+  // Components over the undirected covering edges. Equal CCs (cycles in the
+  // preorder) produce no covering edges; they end up in separate singleton
+  // components, which the hybrid layer resolves before reaching here.
+  UnionFind uf(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (int c : d.children_[i]) uf.Union(i, static_cast<size_t>(c));
+  }
+  d.component_.assign(n, -1);
+  std::vector<int> root_to_comp(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    size_t root = uf.Find(i);
+    if (root_to_comp[root] < 0) {
+      root_to_comp[root] = static_cast<int>(d.component_nodes_.size());
+      d.component_nodes_.emplace_back();
+      d.maximal_.emplace_back();
+    }
+    int comp = root_to_comp[root];
+    d.component_[i] = comp;
+    d.component_nodes_[static_cast<size_t>(comp)].push_back(
+        static_cast<int>(i));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (d.parents_[i].empty()) {
+      d.maximal_[static_cast<size_t>(d.component_[i])].push_back(
+          static_cast<int>(i));
+    }
+  }
+  return d;
+}
+
+bool HasseDiagram::ComponentHasEdges(int comp) const {
+  for (int node : component_nodes_[static_cast<size_t>(comp)]) {
+    if (!children_[static_cast<size_t>(node)].empty()) return true;
+  }
+  return false;
+}
+
+std::string HasseDiagram::ToString() const {
+  std::ostringstream os;
+  os << num_components() << " diagram(s)\n";
+  for (size_t c = 0; c < num_components(); ++c) {
+    os << "  H" << c << ": nodes {";
+    const auto& nodes = component_nodes_[c];
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (i > 0) os << ",";
+      os << nodes[i];
+    }
+    os << "} maximal {";
+    for (size_t i = 0; i < maximal_[c].size(); ++i) {
+      if (i > 0) os << ",";
+      os << maximal_[c][i];
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace cextend

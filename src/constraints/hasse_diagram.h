@@ -1,0 +1,62 @@
+// Hasse diagram over the CC containment partial order (Section 4.2).
+//
+// Nodes are CC indices. An edge parent→child exists when child ⊂ parent is a
+// *covering* containment (no CC strictly between them). Each connected
+// component of the undirected diagram is one of the paper's "diagrams"; its
+// maximal elements are the CCs contained in no other CC of the component.
+
+#ifndef CEXTEND_CONSTRAINTS_HASSE_DIAGRAM_H_
+#define CEXTEND_CONSTRAINTS_HASSE_DIAGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "constraints/relationship.h"
+
+namespace cextend {
+
+class HasseDiagram {
+ public:
+  /// Builds the diagram for the CCs classified in `rel`. Equal CCs are linked
+  /// like containment both ways would suggest; callers typically dedupe or
+  /// route them to the ILP before building.
+  static HasseDiagram Build(const CcRelationMatrix& rel);
+
+  size_t num_nodes() const { return children_.size(); }
+  const std::vector<int>& children(int node) const {
+    return children_[static_cast<size_t>(node)];
+  }
+  const std::vector<int>& parents(int node) const {
+    return parents_[static_cast<size_t>(node)];
+  }
+
+  /// Component id of a node.
+  int component(int node) const { return component_[static_cast<size_t>(node)]; }
+  size_t num_components() const { return component_nodes_.size(); }
+  const std::vector<int>& component_nodes(int comp) const {
+    return component_nodes_[static_cast<size_t>(comp)];
+  }
+  /// Maximal elements (no parents) of a component, the paper's "maximal
+  /// element m of H" (a component can have several; Algorithm 2 treats each
+  /// as a root).
+  const std::vector<int>& maximal_elements(int comp) const {
+    return maximal_[static_cast<size_t>(comp)];
+  }
+
+  /// True when the component's undirected structure has an edge.
+  bool ComponentHasEdges(int comp) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<int>> children_;
+  std::vector<std::vector<int>> parents_;
+  std::vector<int> component_;
+  std::vector<std::vector<int>> component_nodes_;
+  std::vector<std::vector<int>> maximal_;
+};
+
+}  // namespace cextend
+
+#endif  // CEXTEND_CONSTRAINTS_HASSE_DIAGRAM_H_

@@ -1,0 +1,189 @@
+#include "constraints/metrics.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cextend {
+namespace {
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t n = v.size();
+  if (n % 2 == 1) return v[n / 2];
+  return 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Enumerates all k-subsets of `group`, invoking `fn(subset)`; stops early
+/// when `fn` returns false.
+bool ForEachSubset(const std::vector<uint32_t>& group, size_t k,
+                   const std::function<bool(const std::vector<uint32_t>&)>& fn) {
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  if (group.size() < k) return true;
+  std::vector<uint32_t> subset(k);
+  for (;;) {
+    for (size_t i = 0; i < k; ++i) subset[i] = group[idx[i]];
+    if (!fn(subset)) return false;
+    // Advance combination.
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + group.size() - k) {
+        ++idx[i];
+        for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return true;
+    }
+  }
+}
+
+}  // namespace
+
+std::string CcErrorReport::Summary() const {
+  return StrFormat(
+      "CC error: median=%.4f mean=%.4f max=%.4f exact=%zu/%zu", median, mean,
+      max, num_exact, per_cc.size());
+}
+
+StatusOr<CcErrorReport> EvaluateCcError(
+    const std::vector<CardinalityConstraint>& ccs, const Table& v_join) {
+  CcErrorReport report;
+  report.per_cc.reserve(ccs.size());
+  double sum = 0.0;
+  for (const CardinalityConstraint& cc : ccs) {
+    CEXTEND_ASSIGN_OR_RETURN(
+        BoundPredicate pred, BoundPredicate::Bind(cc.JoinCondition(), v_join));
+    int64_t actual = static_cast<int64_t>(pred.CountMatches(v_join));
+    double denom = static_cast<double>(std::max<int64_t>(10, cc.target));
+    double err =
+        static_cast<double>(std::llabs(actual - cc.target)) / denom;
+    report.per_cc.push_back(err);
+    sum += err;
+    report.max = std::max(report.max, err);
+    if (actual == cc.target) ++report.num_exact;
+  }
+  report.mean = ccs.empty() ? 0.0 : sum / static_cast<double>(ccs.size());
+  report.median = Median(report.per_cc);
+  return report;
+}
+
+std::string DcErrorReport::Summary() const {
+  return StrFormat("DC error: %.4f (%zu/%zu tuples, %zu violations)", error,
+                   num_violating_tuples, num_tuples, num_violations);
+}
+
+StatusOr<DcErrorReport> EvaluateDcError(
+    const std::vector<DenialConstraint>& dcs, const Table& r1,
+    const std::string& fk_column) {
+  DcErrorReport report;
+  report.num_tuples = r1.NumRows();
+  auto fk_idx = r1.schema().IndexOf(fk_column);
+  if (!fk_idx.has_value()) {
+    return Status::InvalidArgument("no FK column " + fk_column);
+  }
+  CEXTEND_ASSIGN_OR_RETURN(std::vector<BoundDenialConstraint> bound,
+                           BindAll(dcs, r1));
+
+  // Group rows by FK value; NULL FK rows are excluded (they trivially never
+  // share an FK with anything).
+  std::unordered_map<int64_t, std::vector<uint32_t>> groups;
+  for (size_t r = 0; r < r1.NumRows(); ++r) {
+    int64_t fk = r1.GetCode(r, *fk_idx);
+    if (fk == kNullCode) continue;
+    groups[fk].push_back(static_cast<uint32_t>(r));
+  }
+
+  std::vector<uint8_t> violating(r1.NumRows(), 0);
+  for (const auto& [fk, rows] : groups) {
+    for (const BoundDenialConstraint& dc : bound) {
+      size_t k = static_cast<size_t>(dc.arity());
+      if (rows.size() < k) continue;
+      ForEachSubset(rows, k, [&](const std::vector<uint32_t>& subset) {
+        if (dc.BodyHoldsUnordered(r1, subset)) {
+          ++report.num_violations;
+          for (uint32_t row : subset) violating[row] = 1;
+        }
+        return true;
+      });
+    }
+  }
+  for (uint8_t v : violating) report.num_violating_tuples += v;
+  report.error =
+      report.num_tuples == 0
+          ? 0.0
+          : static_cast<double>(report.num_violating_tuples) /
+                static_cast<double>(report.num_tuples);
+  return report;
+}
+
+StatusOr<size_t> CountJoinMismatches(
+    const Table& r1, const std::string& fk_column, const Table& r2,
+    const std::string& k2_column, const Table& v_join,
+    const std::vector<std::string>& b_columns) {
+  if (r1.NumRows() != v_join.NumRows()) {
+    return Status::InvalidArgument("r1 and v_join must have equal row counts");
+  }
+  auto fk_idx = r1.schema().IndexOf(fk_column);
+  if (!fk_idx.has_value())
+    return Status::InvalidArgument("no FK column " + fk_column);
+  auto k2_idx = r2.schema().IndexOf(k2_column);
+  if (!k2_idx.has_value())
+    return Status::InvalidArgument("no key column " + k2_column);
+
+  // Index R2 by key.
+  std::unordered_map<int64_t, uint32_t> key_to_row;
+  key_to_row.reserve(r2.NumRows() * 2);
+  for (size_t r = 0; r < r2.NumRows(); ++r) {
+    int64_t key = r2.GetCode(r, *k2_idx);
+    if (key == kNullCode) continue;
+    auto [it, inserted] = key_to_row.emplace(key, static_cast<uint32_t>(r));
+    if (!inserted) {
+      return Status::FailedPrecondition("duplicate key in R2");
+    }
+  }
+
+  std::vector<std::pair<size_t, size_t>> cols;  // (r2 col, v_join col)
+  for (const std::string& b : b_columns) {
+    auto c2 = r2.schema().IndexOf(b);
+    auto cv = v_join.schema().IndexOf(b);
+    if (!c2.has_value() || !cv.has_value()) {
+      return Status::InvalidArgument("B column missing: " + b);
+    }
+    // The comparison below is code-level, which requires a shared dictionary.
+    if (r2.schema().column(*c2).type == DataType::kString &&
+        r2.dictionary(*c2) != v_join.dictionary(*cv)) {
+      return Status::FailedPrecondition(
+          "B column dictionaries are not shared: " + b);
+    }
+    cols.emplace_back(*c2, *cv);
+  }
+
+  size_t mismatches = 0;
+  for (size_t r = 0; r < r1.NumRows(); ++r) {
+    int64_t fk = r1.GetCode(r, *fk_idx);
+    if (fk == kNullCode) {
+      ++mismatches;
+      continue;
+    }
+    auto it = key_to_row.find(fk);
+    if (it == key_to_row.end()) {
+      ++mismatches;
+      continue;
+    }
+    for (const auto& [c2, cv] : cols) {
+      if (r2.GetCode(it->second, c2) != v_join.GetCode(r, cv)) {
+        ++mismatches;
+        break;
+      }
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace cextend

@@ -1,0 +1,60 @@
+// Text syntax for constraints, so CC/DC sets can live in plain files and be
+// consumed by the CLI tool (tools/cextend_cli) without writing C++.
+//
+// Predicates (conjunctions):
+//     Age <= 24 & Rel = "Owner" & Area IN {"Chicago", "NYC"}
+// Cardinality constraints (the R1/R2 split of the conjuncts is inferred
+// from the relation schemas):
+//     COUNT(Rel = "Owner" & Area = "Chicago") = 4
+// Denial constraints (arity = highest tuple variable + 1; the implicit
+// "all tuples share the FK" conjunct of Definition 2.2 is not written):
+//     !(t0.Rel = "Owner" & t1.Rel = "Owner")
+//     !(t0.Rel = "Owner" & t1.Rel = "Spouse" & t1.Age < t0.Age - 50)
+// Strings take double or single quotes; integers are signed decimals.
+
+#ifndef CEXTEND_CONSTRAINTS_PARSER_H_
+#define CEXTEND_CONSTRAINTS_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "constraints/cardinality_constraint.h"
+#include "constraints/denial_constraint.h"
+#include "relational/predicate.h"
+#include "relational/schema.h"
+#include "util/statusor.h"
+
+namespace cextend {
+
+/// Parses a conjunctive predicate.
+StatusOr<Predicate> ParsePredicate(std::string_view text);
+
+/// Parses "COUNT(<predicate>) = k" and splits the conjuncts between the R1
+/// and R2 sides by looking the columns up in the two schemas. Fails when a
+/// column exists in neither (or in both) schemas.
+StatusOr<CardinalityConstraint> ParseCc(std::string_view text,
+                                        const Schema& r1_schema,
+                                        const Schema& r2_schema,
+                                        std::string name = "");
+
+/// Parses "!( <dc-atom> & ... )" where atoms reference tuple variables as
+/// `tN.Column`. Binary atoms may carry an integer offset: `t1.Age < t0.Age-50`.
+StatusOr<DenialConstraint> ParseDc(std::string_view text,
+                                   std::string name = "");
+
+/// Parses a constraint spec file: one constraint per line,
+///     cc <name>: COUNT(...) = k
+///     dc <name>: !(...)
+/// Blank lines and lines starting with '#' are ignored.
+struct ConstraintSpec {
+  std::vector<CardinalityConstraint> ccs;
+  std::vector<DenialConstraint> dcs;
+};
+StatusOr<ConstraintSpec> ParseConstraintSpec(std::string_view text,
+                                             const Schema& r1_schema,
+                                             const Schema& r2_schema);
+
+}  // namespace cextend
+
+#endif  // CEXTEND_CONSTRAINTS_PARSER_H_

@@ -1,0 +1,123 @@
+#include "constraints/relationship.h"
+
+namespace cextend {
+namespace {
+
+/// True when some attribute common to both maps has provably disjoint sets,
+/// or either condition is unsatisfiable on its own.
+bool ConditionsDisjoint(const std::map<std::string, AttrSet>& a,
+                        const std::map<std::string, AttrSet>& b) {
+  for (const auto& [attr, set_a] : a) {
+    if (set_a.IsEmpty()) return true;
+    auto it = b.find(attr);
+    if (it != b.end() && set_a.DisjointFrom(it->second)) return true;
+  }
+  for (const auto& [attr, set_b] : b) {
+    if (set_b.IsEmpty()) return true;
+  }
+  return false;
+}
+
+/// True when the conditions are syntactically identical (same attributes,
+/// equal sets).
+bool ConditionsEqual(const std::map<std::string, AttrSet>& a,
+                     const std::map<std::string, AttrSet>& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& [attr, set_a] : a) {
+    auto it = b.find(attr);
+    if (it == b.end() || !(set_a == it->second)) return false;
+  }
+  return true;
+}
+
+/// Definition 4.3: condition `a` is contained in condition `b` when `a`
+/// mentions a (non-strict) superset of b's attributes and, per common
+/// attribute, a's set is a subset of b's.
+bool ConditionContained(const std::map<std::string, AttrSet>& a,
+                        const std::map<std::string, AttrSet>& b) {
+  for (const auto& [attr, set_b] : b) {
+    auto it = a.find(attr);
+    if (it == a.end()) return false;  // b mentions an attr a lacks
+    if (!it->second.SubsetOf(set_b)) return false;
+  }
+  return true;
+}
+
+std::map<std::string, AttrSet> MergeSides(const CcAttrSets& s) {
+  std::map<std::string, AttrSet> merged = s.r1;
+  merged.insert(s.r2.begin(), s.r2.end());
+  return merged;
+}
+
+}  // namespace
+
+const char* CcRelationToString(CcRelation rel) {
+  switch (rel) {
+    case CcRelation::kDisjoint:
+      return "disjoint";
+    case CcRelation::kFirstInSecond:
+      return "first-in-second";
+    case CcRelation::kSecondInFirst:
+      return "second-in-first";
+    case CcRelation::kEqual:
+      return "equal";
+    case CcRelation::kIntersecting:
+      return "intersecting";
+  }
+  return "?";
+}
+
+StatusOr<CcAttrSets> ComputeCcAttrSets(const CardinalityConstraint& cc,
+                                       const Schema& r1_schema,
+                                       const Schema& r2_schema) {
+  CcAttrSets out;
+  CEXTEND_ASSIGN_OR_RETURN(out.r1,
+                           ComputeAttrSets(cc.r1_condition, r1_schema));
+  CEXTEND_ASSIGN_OR_RETURN(out.r2,
+                           ComputeAttrSets(cc.r2_condition, r2_schema));
+  return out;
+}
+
+CcRelation ClassifyPair(const CcAttrSets& a, const CcAttrSets& b) {
+  // Definition 4.2, first clause: R1 conditions disjoint.
+  if (ConditionsDisjoint(a.r1, b.r1)) return CcRelation::kDisjoint;
+  // Definition 4.2, second clause: identical R1 conditions, disjoint R2.
+  if (ConditionsEqual(a.r1, b.r1) && ConditionsDisjoint(a.r2, b.r2))
+    return CcRelation::kDisjoint;
+
+  std::map<std::string, AttrSet> ma = MergeSides(a);
+  std::map<std::string, AttrSet> mb = MergeSides(b);
+  bool a_in_b = ConditionContained(ma, mb);
+  bool b_in_a = ConditionContained(mb, ma);
+  if (a_in_b && b_in_a) return CcRelation::kEqual;
+  if (a_in_b) return CcRelation::kFirstInSecond;
+  if (b_in_a) return CcRelation::kSecondInFirst;
+  return CcRelation::kIntersecting;
+}
+
+StatusOr<CcRelationMatrix> ClassifyAll(
+    const std::vector<CardinalityConstraint>& ccs, const Schema& r1_schema,
+    const Schema& r2_schema) {
+  CcRelationMatrix out;
+  out.attr_sets.reserve(ccs.size());
+  for (const CardinalityConstraint& cc : ccs) {
+    CEXTEND_ASSIGN_OR_RETURN(CcAttrSets sets,
+                             ComputeCcAttrSets(cc, r1_schema, r2_schema));
+    out.attr_sets.push_back(std::move(sets));
+  }
+  size_t n = ccs.size();
+  out.matrix.assign(n, std::vector<CcRelation>(n, CcRelation::kEqual));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      CcRelation rel = ClassifyPair(out.attr_sets[i], out.attr_sets[j]);
+      out.matrix[i][j] = rel;
+      CcRelation sym = rel;
+      if (rel == CcRelation::kFirstInSecond) sym = CcRelation::kSecondInFirst;
+      else if (rel == CcRelation::kSecondInFirst) sym = CcRelation::kFirstInSecond;
+      out.matrix[j][i] = sym;
+    }
+  }
+  return out;
+}
+
+}  // namespace cextend

@@ -1,0 +1,61 @@
+// Pairwise CC relationship classification (Definitions 4.2-4.4):
+// disjoint, contained, or intersecting. The classification drives the hybrid
+// split of Section 4.3 (Hasse-diagram recursion vs. ILP).
+
+#ifndef CEXTEND_CONSTRAINTS_RELATIONSHIP_H_
+#define CEXTEND_CONSTRAINTS_RELATIONSHIP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "constraints/cardinality_constraint.h"
+#include "relational/attr_set.h"
+#include "relational/schema.h"
+#include "util/statusor.h"
+
+namespace cextend {
+
+enum class CcRelation {
+  kDisjoint,      ///< Definition 4.2
+  kFirstInSecond, ///< CC_a ⊆ CC_b (Definition 4.3)
+  kSecondInFirst, ///< CC_b ⊆ CC_a
+  kEqual,         ///< identical selection conditions
+  kIntersecting,  ///< Definition 4.4 (neither disjoint nor contained)
+};
+
+const char* CcRelationToString(CcRelation rel);
+
+/// Pre-computed per-CC attribute sets, split by side.
+struct CcAttrSets {
+  std::map<std::string, AttrSet> r1;
+  std::map<std::string, AttrSet> r2;
+};
+
+/// Computes attribute sets for one CC against the relation schemas.
+StatusOr<CcAttrSets> ComputeCcAttrSets(const CardinalityConstraint& cc,
+                                       const Schema& r1_schema,
+                                       const Schema& r2_schema);
+
+/// Classifies the relation of `a` vs `b` (precomputed sets). Conservative:
+/// anything not provably disjoint/contained is kIntersecting, which only
+/// routes CCs to the general ILP path (correct, less efficient).
+CcRelation ClassifyPair(const CcAttrSets& a, const CcAttrSets& b);
+
+/// Full pairwise classification. `matrix[i][j]` relates ccs[i] to ccs[j];
+/// the matrix is antisymmetric in the containment entries.
+struct CcRelationMatrix {
+  std::vector<CcAttrSets> attr_sets;
+  std::vector<std::vector<CcRelation>> matrix;
+
+  CcRelation At(size_t i, size_t j) const { return matrix[i][j]; }
+  size_t size() const { return matrix.size(); }
+};
+
+StatusOr<CcRelationMatrix> ClassifyAll(
+    const std::vector<CardinalityConstraint>& ccs, const Schema& r1_schema,
+    const Schema& r2_schema);
+
+}  // namespace cextend
+
+#endif  // CEXTEND_CONSTRAINTS_RELATIONSHIP_H_

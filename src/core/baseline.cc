@@ -1,0 +1,20 @@
+#include "core/baseline.h"
+
+namespace cextend {
+
+StatusOr<Solution> SolveBaseline(const Table& r1, const Table& r2,
+                                 const PairSchema& names,
+                                 const std::vector<CardinalityConstraint>& ccs,
+                                 const std::vector<DenialConstraint>& dcs,
+                                 BaselineKind kind,
+                                 const SolverOptions& options) {
+  SolverOptions baseline_options = options;
+  baseline_options.phase1.force_ilp = true;  // one big ILP with all CCs
+  baseline_options.phase1.ilp.include_marginals =
+      kind == BaselineKind::kWithMarginals;
+  baseline_options.phase1.leftover_mode = LeftoverMode::kRandom;
+  baseline_options.phase2.random_assignment = true;
+  return SolveCExtension(r1, r2, names, ccs, dcs, baseline_options);
+}
+
+}  // namespace cextend

@@ -1,0 +1,34 @@
+// The two baselines of Section 6.1, modeled on Arasu et al. [5]:
+//   * Baseline: Algorithm 1 *without* the marginal rows for phase I, random
+//     completion of leftover tuples, and a uniformly random candidate FK per
+//     tuple for phase II (DCs ignored).
+//   * Baseline with marginals: same, but phase I includes the all-way
+//     marginal rows (which empirically satisfies all CCs); phase II is still
+//     random.
+
+#ifndef CEXTEND_CORE_BASELINE_H_
+#define CEXTEND_CORE_BASELINE_H_
+
+#include <vector>
+
+#include "core/solver.h"
+
+namespace cextend {
+
+enum class BaselineKind {
+  kPlain,          ///< no marginals, random FK
+  kWithMarginals,  ///< all-way marginals, random FK
+};
+
+/// Solves the instance with the requested baseline. The output's DC
+/// guarantees do NOT hold (that is the point of the comparison).
+StatusOr<Solution> SolveBaseline(const Table& r1, const Table& r2,
+                                 const PairSchema& names,
+                                 const std::vector<CardinalityConstraint>& ccs,
+                                 const std::vector<DenialConstraint>& dcs,
+                                 BaselineKind kind,
+                                 const SolverOptions& options = {});
+
+}  // namespace cextend
+
+#endif  // CEXTEND_CORE_BASELINE_H_

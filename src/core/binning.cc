@@ -1,0 +1,142 @@
+#include "core/binning.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "relational/attr_set.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cextend {
+namespace {
+
+/// Interval index of `v` for cut list c0<c1<...<ck:
+///   0 for v < c0, i+1 for c_i <= v < c_{i+1}, k+1 for v >= ck.
+int64_t IntervalIndex(const std::vector<int64_t>& cuts, int64_t v) {
+  return static_cast<int64_t>(
+      std::upper_bound(cuts.begin(), cuts.end(), v) - cuts.begin());
+}
+
+}  // namespace
+
+StatusOr<Binning> Binning::Create(
+    const Table& table, const std::vector<std::string>& a_columns,
+    const std::vector<CardinalityConstraint>& ccs) {
+  Binning b;
+  b.table_ = &table;
+  b.a_columns_ = a_columns;
+  for (const std::string& a : a_columns) {
+    auto idx = table.schema().IndexOf(a);
+    if (!idx.has_value())
+      return Status::InvalidArgument("binning column not found: " + a);
+    b.a_col_idx_.push_back(*idx);
+  }
+
+  // Gather interval endpoints per integer attribute from the CCs' R1
+  // conditions; CCs whose condition is not interval-representable on some
+  // integer attribute become "irregular" and contribute match bits instead.
+  std::map<std::string, std::vector<int64_t>> cut_builder;
+  std::vector<const CardinalityConstraint*> irregular;
+  for (const CardinalityConstraint& cc : ccs) {
+    CEXTEND_ASSIGN_OR_RETURN(auto sets,
+                             ComputeAttrSets(cc.r1_condition, table.schema()));
+    bool cc_irregular = false;
+    for (const auto& [attr, set] : sets) {
+      auto col = table.schema().IndexOf(attr);
+      if (!col.has_value())
+        return Status::InvalidArgument("CC references unknown column " + attr);
+      if (table.schema().column(*col).type != DataType::kInt64) continue;
+      if (set.kind() == AttrSet::Kind::kInterval) {
+        constexpr int64_t kLo = std::numeric_limits<int64_t>::min() + 1;
+        constexpr int64_t kHi = std::numeric_limits<int64_t>::max() - 1;
+        if (set.lo() > kLo) cut_builder[attr].push_back(set.lo());
+        if (set.hi() < kHi) cut_builder[attr].push_back(set.hi() + 1);
+      } else {
+        cc_irregular = true;
+      }
+    }
+    if (cc_irregular) irregular.push_back(&cc);
+  }
+  for (auto& [attr, cuts] : cut_builder) {
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  }
+  b.cuts_ = cut_builder;
+  b.column_cuts_.resize(a_columns.size());
+  for (size_t i = 0; i < a_columns.size(); ++i) {
+    auto it = cut_builder.find(a_columns[i]);
+    if (it != cut_builder.end()) b.column_cuts_[i] = it->second;
+  }
+
+  // Bind irregular CC conditions once for the match-bit refinement.
+  std::vector<BoundPredicate> irregular_preds;
+  for (const CardinalityConstraint* cc : irregular) {
+    CEXTEND_ASSIGN_OR_RETURN(BoundPredicate p,
+                             BoundPredicate::Bind(cc->r1_condition, table));
+    irregular_preds.push_back(std::move(p));
+  }
+
+  // Assign rows to bins.
+  std::map<std::vector<int64_t>, uint32_t> key_to_bin;
+  b.bin_of_row_.resize(table.NumRows());
+  std::vector<int64_t> key(a_columns.size() + irregular_preds.size());
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t i = 0; i < b.a_col_idx_.size(); ++i) {
+      int64_t code = table.GetCode(r, b.a_col_idx_[i]);
+      if (code != kNullCode && !b.column_cuts_[i].empty() &&
+          table.schema().column(b.a_col_idx_[i]).type == DataType::kInt64) {
+        key[i] = IntervalIndex(b.column_cuts_[i], code);
+      } else {
+        key[i] = code;
+      }
+    }
+    for (size_t i = 0; i < irregular_preds.size(); ++i) {
+      key[a_columns.size() + i] = irregular_preds[i].Matches(table, r) ? 1 : 0;
+    }
+    auto [it, inserted] =
+        key_to_bin.emplace(key, static_cast<uint32_t>(b.rows_.size()));
+    if (inserted) b.rows_.emplace_back();
+    b.bin_of_row_[r] = it->second;
+    b.rows_[it->second].push_back(static_cast<uint32_t>(r));
+  }
+  return b;
+}
+
+StatusOr<std::vector<size_t>> Binning::MatchingBins(
+    const Predicate& r1_condition) const {
+  CEXTEND_ASSIGN_OR_RETURN(BoundPredicate pred,
+                           BoundPredicate::Bind(r1_condition, *table_));
+  std::vector<size_t> out;
+  for (size_t bin = 0; bin < rows_.size(); ++bin) {
+    if (BinMatches(bin, pred)) out.push_back(bin);
+  }
+  return out;
+}
+
+StatusOr<Predicate> Binning::BinCondition(size_t bin) const {
+  if (bin >= rows_.size())
+    return Status::InvalidArgument("bin out of range");
+  uint32_t rep = representative(bin);
+  Predicate pred;
+  for (size_t i = 0; i < a_col_idx_.size(); ++i) {
+    size_t col = a_col_idx_[i];
+    int64_t code = table_->GetCode(rep, col);
+    if (code == kNullCode) continue;  // NULL cells match nothing; skip
+    if (!column_cuts_[i].empty() &&
+        table_->schema().column(col).type == DataType::kInt64) {
+      const std::vector<int64_t>& cuts = column_cuts_[i];
+      int64_t idx = IntervalIndex(cuts, code);
+      int64_t lo = idx == 0 ? std::numeric_limits<int64_t>::min() + 1
+                            : cuts[static_cast<size_t>(idx - 1)];
+      int64_t hi = idx == static_cast<int64_t>(cuts.size())
+                       ? std::numeric_limits<int64_t>::max() - 1
+                       : cuts[static_cast<size_t>(idx)] - 1;
+      pred.Between(a_columns_[i], lo, hi);
+    } else {
+      pred.Eq(a_columns_[i], table_->GetValue(rep, col));
+    }
+  }
+  return pred;
+}
+
+}  // namespace cextend

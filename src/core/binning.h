@@ -1,0 +1,81 @@
+// Intervalization and binning of R1 tuple types (Section 4.1).
+//
+// Intervalization splits each integer attribute's domain at the endpoints of
+// the intervals mentioned by the CCs, so every CC's R1-side selection becomes
+// a union of *bins*. A bin is one realized combination of
+//   (interval index per intervalized attribute, raw code otherwise),
+// optionally refined by per-CC match bits when a CC's condition is not
+// interval-representable (e.g. != on an integer) — this keeps the invariant
+// "every CC selection is a union of bins" exact in all cases.
+// Bin counts are exactly the paper's all-way marginals over A1..Ap.
+
+#ifndef CEXTEND_CORE_BINNING_H_
+#define CEXTEND_CORE_BINNING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "constraints/cardinality_constraint.h"
+#include "relational/predicate.h"
+#include "relational/table.h"
+#include "util/statusor.h"
+
+namespace cextend {
+
+class Binning {
+ public:
+  /// Bins the rows of `table` (R1 or the join view) over `a_columns`, using
+  /// the R1-side conditions of `ccs` for intervalization.
+  static StatusOr<Binning> Create(const Table& table,
+                                  const std::vector<std::string>& a_columns,
+                                  const std::vector<CardinalityConstraint>& ccs);
+
+  size_t num_bins() const { return rows_.size(); }
+  size_t num_rows() const { return bin_of_row_.size(); }
+
+  uint32_t bin_of_row(size_t row) const { return bin_of_row_[row]; }
+  const std::vector<uint32_t>& rows(size_t bin) const { return rows_[bin]; }
+  size_t count(size_t bin) const { return rows_[bin].size(); }
+  /// Any row of the bin; all rows of a bin agree on every CC's R1 condition.
+  uint32_t representative(size_t bin) const { return rows_[bin][0]; }
+
+  /// True when the bin's rows satisfy `pred` (bound against the table this
+  /// binning was created from). Exact for conditions drawn from the CC set
+  /// used at creation (they are unions of bins).
+  bool BinMatches(size_t bin, const BoundPredicate& pred) const {
+    return pred.Matches(*table_, representative(bin));
+  }
+
+  /// Ids of bins matching `r1_condition`.
+  StatusOr<std::vector<size_t>> MatchingBins(
+      const Predicate& r1_condition) const;
+
+  /// Interval cut points per intervalized column (for tests/inspection).
+  /// Cuts c0 < c1 < ... define intervals (-inf,c0-1], [c0,c1-1], ..., [ck,inf).
+  const std::map<std::string, std::vector<int64_t>>& cuts() const {
+    return cuts_;
+  }
+
+  /// Reconstructs a conjunctive R1 condition describing bin `bin`: equality
+  /// on categorical columns, Between on intervalized ones. Used to render the
+  /// all-way marginals as explicit CCs (paper Section 4.1).
+  StatusOr<Predicate> BinCondition(size_t bin) const;
+
+  const Table& table() const { return *table_; }
+
+ private:
+  const Table* table_ = nullptr;
+  std::vector<std::string> a_columns_;
+  std::vector<size_t> a_col_idx_;
+  // Per a-column: cut list if intervalized (empty vector = raw codes).
+  std::map<std::string, std::vector<int64_t>> cuts_;
+  std::vector<std::vector<int64_t>> column_cuts_;  // parallel to a_col_idx_
+  std::vector<uint32_t> bin_of_row_;
+  std::vector<std::vector<uint32_t>> rows_;
+};
+
+}  // namespace cextend
+
+#endif  // CEXTEND_CORE_BINNING_H_

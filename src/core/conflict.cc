@@ -1,0 +1,169 @@
+#include "core/conflict.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cextend {
+namespace {
+
+/// Recursively enumerates ordered assignments of distinct local vertices to
+/// the tuple variables of a k-ary DC, restricted to per-variable candidate
+/// lists, and records each satisfying assignment as an (unordered) edge.
+void EnumerateHyperedges(const Table& table,
+                         const BoundDenialConstraint& dc,
+                         const std::vector<uint32_t>& rows,
+                         const std::vector<std::vector<size_t>>& candidates,
+                         std::vector<size_t>& chosen,
+                         std::vector<uint32_t>& chosen_rows,
+                         std::set<std::vector<int>>& edges) {
+  size_t var = chosen.size();
+  if (var == candidates.size()) {
+    if (dc.CrossAtomsHold(table, chosen_rows)) {
+      std::vector<int> edge(chosen.begin(), chosen.end());
+      std::sort(edge.begin(), edge.end());
+      edges.insert(std::move(edge));
+    }
+    return;
+  }
+  for (size_t v : candidates[var]) {
+    if (std::find(chosen.begin(), chosen.end(), v) != chosen.end()) continue;
+    chosen.push_back(v);
+    chosen_rows.push_back(rows[v]);
+    EnumerateHyperedges(table, dc, rows, candidates, chosen, chosen_rows,
+                        edges);
+    chosen.pop_back();
+    chosen_rows.pop_back();
+  }
+}
+
+}  // namespace
+
+StatusOr<PartitionConflictOracle> PartitionConflictOracle::Build(
+    const Table& table, const std::vector<BoundDenialConstraint>& dcs,
+    std::vector<uint32_t> rows, size_t max_hyperedge_candidates) {
+  PartitionConflictOracle oracle;
+  oracle.table_ = &table;
+  oracle.rows_ = std::move(rows);
+  size_t n = oracle.rows_.size();
+  oracle.degrees_.assign(n, 0);
+
+  std::set<std::vector<int>> higher_edges;
+  for (const BoundDenialConstraint& dc : dcs) {
+    if (dc.arity() == 2) {
+      BinaryDc b;
+      b.dc = &dc;
+      b.side0.resize(n);
+      b.side1.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        b.side0[i] = dc.SideMatches(table, oracle.rows_[i], 0) ? 1 : 0;
+        b.side1[i] = dc.SideMatches(table, oracle.rows_[i], 1) ? 1 : 0;
+      }
+      oracle.binary_.push_back(std::move(b));
+    } else {
+      // Explicit enumeration for arity >= 3.
+      std::vector<std::vector<size_t>> candidates(
+          static_cast<size_t>(dc.arity()));
+      size_t product = 1;
+      for (int var = 0; var < dc.arity(); ++var) {
+        for (size_t i = 0; i < n; ++i) {
+          if (dc.SideMatches(table, oracle.rows_[i], var)) {
+            candidates[static_cast<size_t>(var)].push_back(i);
+          }
+        }
+        product *= std::max<size_t>(1, candidates[static_cast<size_t>(var)].size());
+        if (product > max_hyperedge_candidates) {
+          return Status::ResourceExhausted(StrFormat(
+              "hyperedge enumeration for a %d-ary DC exceeds the candidate "
+              "cap (%zu)", dc.arity(), max_hyperedge_candidates));
+        }
+      }
+      std::vector<size_t> chosen;
+      std::vector<uint32_t> chosen_rows;
+      EnumerateHyperedges(table, dc, oracle.rows_, candidates, chosen,
+                          chosen_rows, higher_edges);
+    }
+  }
+  if (!higher_edges.empty()) {
+    oracle.higher_ = std::make_unique<Hypergraph>(n);
+    for (const std::vector<int>& e : higher_edges) oracle.higher_->AddEdge(e);
+  }
+
+  // Degrees: pairwise scan for binary DCs (no edge storage) + hypergraph.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (oracle.PairConflicts(i, j)) {
+        ++oracle.degrees_[i];
+        ++oracle.degrees_[j];
+      }
+    }
+  }
+  if (oracle.higher_ != nullptr) {
+    for (size_t v = 0; v < n; ++v)
+      oracle.degrees_[v] += oracle.higher_->Degree(v);
+  }
+  return oracle;
+}
+
+bool PartitionConflictOracle::PairConflicts(size_t u, size_t v) const {
+  for (const BinaryDc& b : binary_) {
+    if (b.side0[u] && b.side1[v] &&
+        b.dc->CrossAtomsHold(*table_, {rows_[u], rows_[v]})) {
+      return true;
+    }
+    if (b.side0[v] && b.side1[u] &&
+        b.dc->CrossAtomsHold(*table_, {rows_[v], rows_[u]})) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PartitionConflictOracle::AppendForbiddenColors(
+    size_t v, const std::vector<int64_t>& colors,
+    std::vector<int64_t>* out) const {
+  constexpr int64_t kNone = INT64_MIN;
+  // Binary DCs: the color of any conflicting colored vertex is forbidden.
+  for (size_t u = 0; u < rows_.size(); ++u) {
+    if (u == v || colors[u] == kNone) continue;
+    if (PairConflicts(u, v)) out->push_back(colors[u]);
+  }
+  if (higher_ != nullptr) higher_->AppendForbiddenColors(v, colors, out);
+}
+
+bool PartitionConflictOracle::WouldViolate(
+    size_t v, const std::vector<size_t>& same_color) const {
+  for (size_t u : same_color) {
+    if (u != v && PairConflicts(u, v)) return true;
+  }
+  if (higher_ != nullptr) {
+    // Check hyperedges containing v whose other vertices are all in the set.
+    std::set<size_t> in_set(same_color.begin(), same_color.end());
+    for (int e : higher_->incident_edges(v)) {
+      bool all_in = true;
+      for (int u : higher_->edge(static_cast<size_t>(e))) {
+        if (static_cast<size_t>(u) == v) continue;
+        if (!in_set.contains(static_cast<size_t>(u))) {
+          all_in = false;
+          break;
+        }
+      }
+      if (all_in) return true;
+    }
+  }
+  return false;
+}
+
+size_t PartitionConflictOracle::CountEdges() const {
+  size_t count = higher_ == nullptr ? 0 : higher_->num_edges();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    for (size_t j = i + 1; j < rows_.size(); ++j) {
+      if (PairConflicts(i, j)) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace cextend

@@ -1,0 +1,73 @@
+// Conflict structures for one phase-II partition (Section 5.1 + 5.2).
+//
+// All rows of a partition share their (B1..Bq) values, hence their candidate
+// FK list; a hyperedge connects every tuple set that would violate a DC body
+// if co-assigned. Binary DCs are handled *without materializing edges*: side
+// predicates are precomputed per vertex and pairs are tested on the fly
+// (degrees once at construction, forbidden colors per coloring step). DCs of
+// arity >= 3 are expanded into an explicit hypergraph. Both paths plug into
+// the same ConflictOracle interface, so coloring semantics match the paper.
+
+#ifndef CEXTEND_CORE_CONFLICT_H_
+#define CEXTEND_CORE_CONFLICT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "constraints/denial_constraint.h"
+#include "graph/hypergraph.h"
+#include "relational/table.h"
+#include "util/statusor.h"
+
+namespace cextend {
+
+class PartitionConflictOracle : public ConflictOracle {
+ public:
+  /// `rows` are v_join/R1 row ids forming the partition. `dcs` must be bound
+  /// against `table`. Edge enumeration for arity >= 3 DCs is capped at
+  /// `max_hyperedge_candidates` candidate assignments (guard against
+  /// pathological inputs); exceeding the cap fails.
+  static StatusOr<PartitionConflictOracle> Build(
+      const Table& table, const std::vector<BoundDenialConstraint>& dcs,
+      std::vector<uint32_t> rows,
+      size_t max_hyperedge_candidates = 50'000'000);
+
+  const std::vector<uint32_t>& rows() const { return rows_; }
+
+  // ConflictOracle:
+  size_t NumVertices() const override { return rows_.size(); }
+  int64_t Degree(size_t v) const override { return degrees_[v]; }
+  void AppendForbiddenColors(size_t v, const std::vector<int64_t>& colors,
+                             std::vector<int64_t>* out) const override;
+
+  /// True when local vertices u, v conflict under some binary DC (used when
+  /// inserting invalid tuples into an already-colored partition).
+  bool PairConflicts(size_t u, size_t v) const;
+
+  /// True when assigning `v` the same color as the already-colored vertices
+  /// in `same_color` (local ids) would violate any DC.
+  bool WouldViolate(size_t v, const std::vector<size_t>& same_color) const;
+
+  /// Total implicit pairwise edges plus explicit hyperedges (for stats).
+  size_t CountEdges() const;
+
+ private:
+  PartitionConflictOracle() = default;
+
+  const Table* table_ = nullptr;
+  std::vector<uint32_t> rows_;
+  // Binary DCs: per DC, per tuple variable, per local vertex: side match.
+  struct BinaryDc {
+    const BoundDenialConstraint* dc;
+    std::vector<uint8_t> side0;
+    std::vector<uint8_t> side1;
+  };
+  std::vector<BinaryDc> binary_;
+  std::unique_ptr<Hypergraph> higher_;  // arity >= 3 edges (local vertex ids)
+  std::vector<int64_t> degrees_;
+};
+
+}  // namespace cextend
+
+#endif  // CEXTEND_CORE_CONFLICT_H_

@@ -1,0 +1,159 @@
+#include "core/hybrid.h"
+
+#include <algorithm>
+
+#include "constraints/hasse_diagram.h"
+#include "constraints/relationship.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace cextend {
+
+StatusOr<HybridResult> RunHybridPhase1(
+    Table& v_join, const Table& r2, const PairSchema& names,
+    const std::vector<CardinalityConstraint>& ccs,
+    const std::vector<DenialConstraint>& dcs, const HybridOptions& options) {
+  HybridResult result;
+  HybridStats& stats = result.stats;
+  Rng rng(options.seed);
+
+  // R1-side conditions are classified against the join view's schema (it
+  // carries all A columns); R2-side against R2.
+  CcRelationMatrix relations;
+  {
+    ScopedTimer timer(&stats.pairwise_seconds);
+    CEXTEND_ASSIGN_OR_RETURN(relations,
+                             ClassifyAll(ccs, v_join.schema(), r2.schema()));
+  }
+
+  // Drop exact duplicates (identical conditions). Duplicates with equal
+  // targets are redundant; with conflicting targets both go to the ILP whose
+  // slack absorbs the contradiction.
+  size_t n = ccs.size();
+  std::vector<char> active(n, 1);
+  std::vector<char> tainted(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (!active[i]) continue;
+    for (size_t j = i + 1; j < n; ++j) {
+      if (!active[j] || relations.At(i, j) != CcRelation::kEqual) continue;
+      if (ccs[i].target == ccs[j].target) {
+        active[j] = 0;
+        ++stats.duplicate_ccs_dropped;
+      } else {
+        tainted[i] = tainted[j] = 1;  // contradictory duplicates -> ILP
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!active[i]) continue;
+    for (size_t j = i + 1; j < n; ++j) {
+      if (!active[j]) continue;
+      if (relations.At(i, j) == CcRelation::kIntersecting) {
+        tainted[i] = tainted[j] = 1;
+      }
+    }
+  }
+
+  std::vector<int> active_ids;
+  for (size_t i = 0; i < n; ++i) {
+    if (active[i]) active_ids.push_back(static_cast<int>(i));
+  }
+  std::vector<CardinalityConstraint> active_ccs;
+  for (int id : active_ids) active_ccs.push_back(ccs[static_cast<size_t>(id)]);
+
+  // Sub-matrix over the active CCs, then the Hasse diagram; components
+  // containing a tainted CC are routed to the ILP (paper: discard diagrams
+  // with intersecting CCs).
+  CcRelationMatrix sub;
+  sub.matrix.assign(active_ids.size(),
+                    std::vector<CcRelation>(active_ids.size(),
+                                            CcRelation::kEqual));
+  for (size_t a = 0; a < active_ids.size(); ++a) {
+    for (size_t b = 0; b < active_ids.size(); ++b) {
+      sub.matrix[a][b] = relations.At(static_cast<size_t>(active_ids[a]),
+                                      static_cast<size_t>(active_ids[b]));
+    }
+  }
+  HasseDiagram diagram = HasseDiagram::Build(sub);
+
+  std::vector<int> s1_local, s2_local;  // indices into active_ccs
+  {
+    std::vector<char> comp_tainted(diagram.num_components(), 0);
+    for (size_t a = 0; a < active_ids.size(); ++a) {
+      if (options.force_ilp ||
+          tainted[static_cast<size_t>(active_ids[a])]) {
+        comp_tainted[static_cast<size_t>(
+            diagram.component(static_cast<int>(a)))] = 1;
+      }
+    }
+    for (size_t a = 0; a < active_ids.size(); ++a) {
+      if (comp_tainted[static_cast<size_t>(
+              diagram.component(static_cast<int>(a)))]) {
+        s2_local.push_back(static_cast<int>(a));
+      } else {
+        s1_local.push_back(static_cast<int>(a));
+      }
+    }
+  }
+  stats.ccs_to_hasse = s1_local.size();
+  stats.ccs_to_ilp = s2_local.size();
+
+  // Binning over the full active CC set: shared by both algorithms and the
+  // final fill; bin counts restricted to unassigned rows are the paper's
+  // "modified marginals" for the ILP.
+  Binning binning;
+  ComboIndex combos;
+  FillState state;
+  {
+    ScopedTimer timer(&stats.binning_seconds);
+    CEXTEND_ASSIGN_OR_RETURN(
+        binning, Binning::Create(v_join, names.r1_attrs, active_ccs));
+    CEXTEND_ASSIGN_OR_RETURN(combos, ComboIndex::Build(r2, names));
+    CEXTEND_ASSIGN_OR_RETURN(state,
+                             FillState::Create(&v_join, names, &binning));
+  }
+
+  // --- Algorithm 2 over S1. ---
+  if (!s1_local.empty()) {
+    std::vector<CardinalityConstraint> s1_ccs;
+    for (int a : s1_local)
+      s1_ccs.push_back(active_ccs[static_cast<size_t>(a)]);
+    CcRelationMatrix s1_rel;
+    s1_rel.matrix.assign(s1_local.size(),
+                         std::vector<CcRelation>(s1_local.size(),
+                                                 CcRelation::kEqual));
+    for (size_t a = 0; a < s1_local.size(); ++a) {
+      for (size_t b = 0; b < s1_local.size(); ++b) {
+        s1_rel.matrix[a][b] =
+            sub.matrix[static_cast<size_t>(s1_local[a])]
+                      [static_cast<size_t>(s1_local[b])];
+      }
+    }
+    HasseDiagram s1_diagram = HasseDiagram::Build(s1_rel);
+    ScopedTimer timer(&stats.recursion_seconds);
+    CEXTEND_RETURN_IF_ERROR(RunPhase1Hasse(state, combos, s1_ccs, s1_rel,
+                                           s1_diagram, &stats.hasse));
+  }
+
+  // --- Algorithm 1 over S2. ---
+  if (!s2_local.empty()) {
+    std::vector<CardinalityConstraint> s2_ccs;
+    for (int a : s2_local)
+      s2_ccs.push_back(active_ccs[static_cast<size_t>(a)]);
+    ScopedTimer timer(&stats.ilp_seconds);
+    CEXTEND_RETURN_IF_ERROR(
+        RunPhase1Ilp(state, combos, s2_ccs, options.ilp, &stats.ilp));
+  }
+
+  // --- Final fill (Algorithm 2 lines 14-17, shared). ---
+  {
+    ScopedTimer timer(&stats.final_fill_seconds);
+    CEXTEND_ASSIGN_OR_RETURN(
+        result.invalid_rows,
+        CompleteLeftoverRows(state, combos, active_ccs, dcs,
+                             options.leftover_mode, rng, &stats.fill));
+  }
+  return result;
+}
+
+}  // namespace cextend

@@ -1,0 +1,60 @@
+// Phase I hybrid approach (Section 4.3): split S_CC into the diagrams free of
+// intersections (handled exactly by Algorithm 2) and the rest (handled by the
+// ILP of Algorithm 1 with modified marginals), then complete leftovers.
+
+#ifndef CEXTEND_CORE_HYBRID_H_
+#define CEXTEND_CORE_HYBRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "constraints/cardinality_constraint.h"
+#include "constraints/denial_constraint.h"
+#include "core/binning.h"
+#include "core/join_view.h"
+#include "core/phase1_hasse.h"
+#include "core/phase1_ilp.h"
+#include "relational/table.h"
+#include "util/statusor.h"
+
+namespace cextend {
+
+struct HybridOptions {
+  Phase1IlpOptions ilp;
+  uint64_t seed = 1;
+  /// Force all CCs down the ILP path (pure Algorithm 1; used by baselines
+  /// and ablations). The Hasse path is skipped entirely.
+  bool force_ilp = false;
+  /// Leftover completion behaviour (the baseline uses kRandom).
+  LeftoverMode leftover_mode = LeftoverMode::kAvoidCcs;
+};
+
+struct HybridStats {
+  double pairwise_seconds = 0.0;  ///< CC relationship classification
+  double binning_seconds = 0.0;
+  double recursion_seconds = 0.0; ///< Algorithm 2 (Hasse recursion)
+  double ilp_seconds = 0.0;       ///< Algorithm 1 (model + solve + fill)
+  double final_fill_seconds = 0.0;
+  size_t ccs_to_hasse = 0;
+  size_t ccs_to_ilp = 0;
+  size_t duplicate_ccs_dropped = 0;
+  Phase1HasseStats hasse;
+  Phase1IlpStats ilp;
+  FinalFillStats fill;
+};
+
+struct HybridResult {
+  std::vector<uint32_t> invalid_rows;
+  HybridStats stats;
+};
+
+/// Runs phase I over `v_join` (mutated in place). `dcs` only informs the
+/// DC-aware leftover completion (see CompleteLeftoverRows); it may be empty.
+StatusOr<HybridResult> RunHybridPhase1(
+    Table& v_join, const Table& r2, const PairSchema& names,
+    const std::vector<CardinalityConstraint>& ccs,
+    const std::vector<DenialConstraint>& dcs, const HybridOptions& options);
+
+}  // namespace cextend
+
+#endif  // CEXTEND_CORE_HYBRID_H_

@@ -1,0 +1,203 @@
+#include "core/join_view.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cextend {
+namespace {
+
+Status RequireIntColumn(const Table& t, const std::string& name,
+                        const char* role) {
+  auto idx = t.schema().IndexOf(name);
+  if (!idx.has_value()) {
+    return Status::InvalidArgument(StrFormat("%s column '%s' not found", role,
+                                             name.c_str()));
+  }
+  if (t.schema().column(*idx).type != DataType::kInt64) {
+    return Status::InvalidArgument(
+        StrFormat("%s column '%s' must be INT64", role, name.c_str()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<PairSchema> PairSchema::Infer(const Table& r1, const Table& r2,
+                                       std::string key1, std::string fk,
+                                       std::string key2) {
+  PairSchema names;
+  names.key1 = std::move(key1);
+  names.fk = std::move(fk);
+  names.key2 = std::move(key2);
+  for (const ColumnSpec& c : r1.schema().columns()) {
+    if (c.name != names.key1 && c.name != names.fk)
+      names.r1_attrs.push_back(c.name);
+  }
+  for (const ColumnSpec& c : r2.schema().columns()) {
+    if (c.name != names.key2) names.r2_attrs.push_back(c.name);
+  }
+  CEXTEND_RETURN_IF_ERROR(names.Validate(r1, r2));
+  return names;
+}
+
+Status PairSchema::Validate(const Table& r1, const Table& r2) const {
+  CEXTEND_RETURN_IF_ERROR(RequireIntColumn(r1, key1, "R1 key"));
+  CEXTEND_RETURN_IF_ERROR(RequireIntColumn(r1, fk, "R1 foreign key"));
+  CEXTEND_RETURN_IF_ERROR(RequireIntColumn(r2, key2, "R2 key"));
+  for (const std::string& a : r1_attrs) {
+    if (!r1.schema().Contains(a))
+      return Status::InvalidArgument("R1 attribute not found: " + a);
+    if (a == key1 || a == fk)
+      return Status::InvalidArgument("R1 attribute overlaps key/FK: " + a);
+  }
+  for (const std::string& b : r2_attrs) {
+    if (!r2.schema().Contains(b))
+      return Status::InvalidArgument("R2 attribute not found: " + b);
+    if (b == key2)
+      return Status::InvalidArgument("R2 attribute overlaps key: " + b);
+    if (r1.schema().Contains(b))
+      return Status::InvalidArgument(
+          "R1 and R2 column names must be disjoint; duplicate: " + b);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Table> MakeJoinView(const Table& r1, const Table& r2,
+                             const PairSchema& names) {
+  CEXTEND_RETURN_IF_ERROR(names.Validate(r1, r2));
+  std::vector<ColumnSpec> specs;
+  std::vector<std::shared_ptr<Dictionary>> dicts;
+  size_t k1 = r1.schema().IndexOrDie(names.key1);
+  specs.push_back(r1.schema().column(k1));
+  dicts.push_back(r1.dictionary(k1));
+  std::vector<size_t> a_cols;
+  for (const std::string& a : names.r1_attrs) {
+    size_t c = r1.schema().IndexOrDie(a);
+    a_cols.push_back(c);
+    specs.push_back(r1.schema().column(c));
+    dicts.push_back(r1.dictionary(c));
+  }
+  for (const std::string& b : names.r2_attrs) {
+    size_t c = r2.schema().IndexOrDie(b);
+    specs.push_back(r2.schema().column(c));
+    dicts.push_back(r2.dictionary(c));
+  }
+  Table v_join{Schema(specs), dicts};
+  v_join.AppendNullRows(r1.NumRows());
+  for (size_t r = 0; r < r1.NumRows(); ++r) {
+    v_join.SetCode(r, 0, r1.GetCode(r, k1));
+    for (size_t i = 0; i < a_cols.size(); ++i) {
+      v_join.SetCode(r, 1 + i, r1.GetCode(r, a_cols[i]));
+    }
+  }
+  return v_join;
+}
+
+StatusOr<Table> MaterializeJoin(const Table& r1, const Table& r2,
+                                const PairSchema& names) {
+  CEXTEND_ASSIGN_OR_RETURN(Table v_join, MakeJoinView(r1, r2, names));
+  size_t fk_col = r1.schema().IndexOrDie(names.fk);
+  size_t k2_col = r2.schema().IndexOrDie(names.key2);
+  std::unordered_map<int64_t, uint32_t> key_to_row;
+  key_to_row.reserve(r2.NumRows() * 2);
+  for (size_t r = 0; r < r2.NumRows(); ++r) {
+    int64_t key = r2.GetCode(r, k2_col);
+    if (key == kNullCode)
+      return Status::FailedPrecondition("NULL key in R2");
+    if (!key_to_row.emplace(key, static_cast<uint32_t>(r)).second)
+      return Status::FailedPrecondition("duplicate key in R2");
+  }
+  std::vector<size_t> b_cols_r2, b_cols_v;
+  for (const std::string& b : names.r2_attrs) {
+    b_cols_r2.push_back(r2.schema().IndexOrDie(b));
+    b_cols_v.push_back(v_join.schema().IndexOrDie(b));
+  }
+  for (size_t r = 0; r < r1.NumRows(); ++r) {
+    int64_t fk = r1.GetCode(r, fk_col);
+    if (fk == kNullCode) {
+      return Status::FailedPrecondition(
+          StrFormat("R1 row %zu has NULL foreign key", r));
+    }
+    auto it = key_to_row.find(fk);
+    if (it == key_to_row.end()) {
+      return Status::FailedPrecondition(
+          StrFormat("R1 row %zu has dangling foreign key", r));
+    }
+    for (size_t i = 0; i < b_cols_r2.size(); ++i) {
+      v_join.SetCode(r, b_cols_v[i], r2.GetCode(it->second, b_cols_r2[i]));
+    }
+  }
+  return v_join;
+}
+
+StatusOr<ComboIndex> ComboIndex::Build(const Table& r2,
+                                       const PairSchema& names) {
+  ComboIndex index;
+  index.r2_ = &r2;
+  index.key_col_ = r2.schema().IndexOrDie(names.key2);
+  for (const std::string& b : names.r2_attrs) {
+    index.b_cols_.push_back(r2.schema().IndexOrDie(b));
+  }
+  for (size_t r = 0; r < r2.NumRows(); ++r) {
+    std::vector<int64_t> codes(index.b_cols_.size());
+    for (size_t i = 0; i < index.b_cols_.size(); ++i) {
+      codes[i] = r2.GetCode(r, index.b_cols_[i]);
+    }
+    auto [it, inserted] = index.lookup_.emplace(codes, index.combos_.size());
+    if (inserted) {
+      index.combos_.push_back(codes);
+      index.keys_.emplace_back();
+      index.representative_.push_back(static_cast<uint32_t>(r));
+    }
+    index.keys_[it->second].push_back(r2.GetCode(r, index.key_col_));
+  }
+  for (auto& k : index.keys_) std::sort(k.begin(), k.end());
+  return index;
+}
+
+std::optional<size_t> ComboIndex::Find(
+    const std::vector<int64_t>& codes) const {
+  auto it = lookup_.find(codes);
+  if (it == lookup_.end()) return std::nullopt;
+  return it->second;
+}
+
+StatusOr<std::vector<size_t>> ComboIndex::MatchingCombos(
+    const Predicate& r2_condition) const {
+  CEXTEND_ASSIGN_OR_RETURN(BoundPredicate pred,
+                           BoundPredicate::Bind(r2_condition, *r2_));
+  std::vector<size_t> out;
+  for (size_t i = 0; i < combos_.size(); ++i) {
+    if (pred.Matches(*r2_, representative_[i])) out.push_back(i);
+  }
+  return out;
+}
+
+bool ComboIndex::ComboMatches(size_t i, const BoundPredicate& pred) const {
+  return pred.Matches(*r2_, representative_[i]);
+}
+
+std::vector<size_t> ComboIndex::ExpandByKeyCount(
+    const std::vector<size_t>& combos, size_t cap) const {
+  std::vector<size_t> out;
+  // Interleave rounds so low-multiplicity combos are not starved: round r
+  // emits every combo with at least r+1 keys.
+  for (size_t round = 0; round < cap; ++round) {
+    bool emitted = false;
+    for (size_t combo : combos) {
+      if (keys_[combo].size() > round) {
+        out.push_back(combo);
+        emitted = true;
+      }
+    }
+    if (!emitted) break;
+  }
+  if (out.empty()) out = combos;  // all combos keyless: keep the originals
+  return out;
+}
+
+}  // namespace cextend

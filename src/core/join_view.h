@@ -1,0 +1,101 @@
+// The linked pair (R1, R2) and its join view V_join (Section 3.1).
+//
+// V_join has schema (K1, A1..Ap, B1..Bq): a copy of R1 without the FK column
+// plus one initially-NULL column per non-key R2 column. Because of the
+// foreign-key dependence, |V_join| = |R1| and rows correspond by position.
+
+#ifndef CEXTEND_CORE_JOIN_VIEW_H_
+#define CEXTEND_CORE_JOIN_VIEW_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/predicate.h"
+#include "relational/table.h"
+#include "util/statusor.h"
+
+namespace cextend {
+
+/// Names of the key/FK columns and of the non-key attribute columns of a
+/// linked pair R1(K1, A1..Ap, FK) and R2(K2, B1..Bq).
+struct PairSchema {
+  std::string key1;                    ///< R1 primary key (INT64)
+  std::string fk;                      ///< R1 foreign key into R2 (INT64)
+  std::string key2;                    ///< R2 primary key (INT64)
+  std::vector<std::string> r1_attrs;   ///< A1..Ap
+  std::vector<std::string> r2_attrs;   ///< B1..Bq
+
+  /// Derives the attribute lists from the table schemas: every non-key R1
+  /// column except `fk`, and every non-key R2 column.
+  static StatusOr<PairSchema> Infer(const Table& r1, const Table& r2,
+                                    std::string key1, std::string fk,
+                                    std::string key2);
+
+  /// Checks that all named columns exist with the right types.
+  Status Validate(const Table& r1, const Table& r2) const;
+};
+
+/// Builds the initial V_join: K1 + A columns copied from R1, B columns NULL.
+/// B columns share R2's dictionaries so codes are directly comparable.
+StatusOr<Table> MakeJoinView(const Table& r1, const Table& r2,
+                             const PairSchema& names);
+
+/// Materializes the actual join of a *filled* R1 with R2 (used to derive
+/// ground-truth CC targets in the generators and to verify Proposition 5.5).
+/// Fails if any FK value is NULL or dangling.
+StatusOr<Table> MaterializeJoin(const Table& r1, const Table& r2,
+                                const PairSchema& names);
+
+/// Index over the distinct (B1..Bq) combinations present in R2: which keys
+/// realize each combination, and which combinations satisfy a given R2-side
+/// CC condition. Phase I uses it for variable construction and leftover
+/// filling; phase II uses it for candidate color lists.
+class ComboIndex {
+ public:
+  static StatusOr<ComboIndex> Build(const Table& r2, const PairSchema& names);
+
+  size_t num_combos() const { return combos_.size(); }
+
+  /// Codes of combo `i`, one per B column (order of names.r2_attrs).
+  const std::vector<int64_t>& combo_codes(size_t i) const {
+    return combos_[i];
+  }
+
+  /// K2 values carrying combo `i`, ascending.
+  const std::vector<int64_t>& keys(size_t i) const { return keys_[i]; }
+
+  /// Combo id for exact codes, if present in R2.
+  std::optional<size_t> Find(const std::vector<int64_t>& codes) const;
+
+  /// Ids of combos whose values satisfy `r2_condition` (bound against R2).
+  /// Exact: the condition only references B columns.
+  StatusOr<std::vector<size_t>> MatchingCombos(
+      const Predicate& r2_condition) const;
+
+  /// True when combo `i` satisfies the bound condition.
+  bool ComboMatches(size_t i, const BoundPredicate& pred) const;
+
+  /// Repeats each combo id proportionally to its key count (capped at
+  /// `cap`). Round-robin assignment over the expanded list spreads tuples
+  /// according to R2's capacity, which keeps phase II from minting fresh
+  /// keys for crowded combos (an engineering refinement over the paper's
+  /// uniform rotation; coloring semantics are unchanged).
+  std::vector<size_t> ExpandByKeyCount(const std::vector<size_t>& combos,
+                                       size_t cap = 8) const;
+
+ private:
+  const Table* r2_ = nullptr;
+  std::vector<size_t> b_cols_;              // column indices in R2
+  size_t key_col_ = 0;
+  std::vector<std::vector<int64_t>> combos_;
+  std::vector<std::vector<int64_t>> keys_;
+  std::vector<uint32_t> representative_;    // an R2 row per combo
+  std::map<std::vector<int64_t>, size_t> lookup_;
+};
+
+}  // namespace cextend
+
+#endif  // CEXTEND_CORE_JOIN_VIEW_H_

@@ -1,0 +1,22 @@
+#include "core/marginals.h"
+
+#include "util/string_util.h"
+
+namespace cextend {
+
+StatusOr<std::vector<CardinalityConstraint>> ComputeAllWayMarginals(
+    const Binning& binning) {
+  std::vector<CardinalityConstraint> out;
+  out.reserve(binning.num_bins());
+  for (size_t bin = 0; bin < binning.num_bins(); ++bin) {
+    CardinalityConstraint cc;
+    cc.name = StrFormat("marginal_bin%zu", bin);
+    CEXTEND_ASSIGN_OR_RETURN(cc.r1_condition, binning.BinCondition(bin));
+    cc.r2_condition = Predicate::True();
+    cc.target = static_cast<int64_t>(binning.count(bin));
+    out.push_back(std::move(cc));
+  }
+  return out;
+}
+
+}  // namespace cextend

@@ -1,0 +1,28 @@
+// All-way marginals over R1's non-key attributes (Section 4.1).
+//
+// The marginal of each bin — the number of R1 tuples of that tuple type —
+// carries over to V_join unchanged (foreign-key dependence makes the join
+// one-to-one), so the paper augments S_CC with these counts to force the ILP
+// to account for every tuple. In our ILP encoding they appear as hard
+// equality rows; this helper also renders them as explicit CCs for display,
+// tests, and the baseline-with-marginals description.
+
+#ifndef CEXTEND_CORE_MARGINALS_H_
+#define CEXTEND_CORE_MARGINALS_H_
+
+#include <vector>
+
+#include "constraints/cardinality_constraint.h"
+#include "core/binning.h"
+#include "util/statusor.h"
+
+namespace cextend {
+
+/// One CC per bin: the bin's reconstructed R1 condition, TRUE R2 condition,
+/// target = bin count.
+StatusOr<std::vector<CardinalityConstraint>> ComputeAllWayMarginals(
+    const Binning& binning);
+
+}  // namespace cextend
+
+#endif  // CEXTEND_CORE_MARGINALS_H_

@@ -1,0 +1,398 @@
+#include "core/phase1_hasse.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <unordered_set>
+
+#include "relational/attr_set.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace cextend {
+namespace {
+
+/// Per-CC precomputation for Algorithm 2.
+struct CcPlan {
+  std::vector<size_t> matching_bins;    // bins satisfying the R1 condition
+  std::vector<size_t> matching_combos;  // combos satisfying the R2 condition
+};
+
+/// Recursive node processing (Algorithm 2 lines 7-13, with the base case of
+/// lines 2-6 as the childless specialization). Shared children in a DAG are
+/// processed once; every parent still subtracts their targets.
+class HasseRecursion {
+ public:
+  HasseRecursion(FillState& state, const ComboIndex& combos,
+                 const std::vector<CardinalityConstraint>& ccs,
+                 const HasseDiagram& diagram, std::vector<CcPlan> plans,
+                 Phase1HasseStats* stats)
+      : state_(state),
+        combos_(combos),
+        ccs_(ccs),
+        diagram_(diagram),
+        plans_(std::move(plans)),
+        stats_(stats),
+        processed_(ccs.size(), false),
+        round_robin_(ccs.size(), 0) {}
+
+  void ProcessNode(int node) {
+    size_t n = static_cast<size_t>(node);
+    if (processed_[n]) return;
+    processed_[n] = true;
+
+    int64_t child_total = 0;
+    for (int child : diagram_.children(node)) {
+      ProcessNode(child);
+      child_total += ccs_[static_cast<size_t>(child)].target;
+    }
+
+    int64_t needed = ccs_[n].target - child_total;
+    if (needed < 0) {
+      stats_->shortfall += -needed;
+      needed = 0;
+    }
+    if (needed == 0) return;
+
+    // Bins satisfying sigma_m but no child's sigma_c (paper line 12).
+    std::unordered_set<size_t> excluded;
+    for (int child : diagram_.children(node)) {
+      const CcPlan& cp = plans_[static_cast<size_t>(child)];
+      excluded.insert(cp.matching_bins.begin(), cp.matching_bins.end());
+    }
+
+    const CcPlan& plan = plans_[n];
+    if (plan.matching_combos.empty()) {
+      // No R2 combination realizes the R2-side condition; nothing joinable.
+      stats_->shortfall += needed;
+      return;
+    }
+    int64_t remaining = needed;
+    for (size_t bin : plan.matching_bins) {
+      if (remaining == 0) break;
+      if (excluded.contains(bin)) continue;
+      std::vector<uint32_t> rows =
+          state_.PopRows(bin, static_cast<size_t>(remaining));
+      for (uint32_t row : rows) {
+        size_t combo = plan.matching_combos[round_robin_[n] %
+                                            plan.matching_combos.size()];
+        ++round_robin_[n];
+        state_.AssignFullCombo(row, combos_.combo_codes(combo));
+      }
+      remaining -= static_cast<int64_t>(rows.size());
+      stats_->rows_assigned += rows.size();
+    }
+    stats_->shortfall += remaining;
+  }
+
+ private:
+  FillState& state_;
+  const ComboIndex& combos_;
+  const std::vector<CardinalityConstraint>& ccs_;
+  const HasseDiagram& diagram_;
+  std::vector<CcPlan> plans_;
+  Phase1HasseStats* stats_;
+  std::vector<bool> processed_;
+  std::vector<size_t> round_robin_;
+};
+
+StatusOr<std::vector<CcPlan>> BuildPlans(
+    const FillState& state, const ComboIndex& combos,
+    const std::vector<CardinalityConstraint>& ccs) {
+  std::vector<CcPlan> plans(ccs.size());
+  for (size_t i = 0; i < ccs.size(); ++i) {
+    CEXTEND_ASSIGN_OR_RETURN(plans[i].matching_bins,
+                             state.binning().MatchingBins(ccs[i].r1_condition));
+    CEXTEND_ASSIGN_OR_RETURN(plans[i].matching_combos,
+                             combos.MatchingCombos(ccs[i].r2_condition));
+    // Key-count-weighted rotation: spread assignments according to how many
+    // R2 tuples realize each combo, so phase II rarely runs out of colors.
+    plans[i].matching_combos =
+        combos.ExpandByKeyCount(plans[i].matching_combos);
+  }
+  return plans;
+}
+
+}  // namespace
+
+Status RunPhase1Hasse(FillState& state, const ComboIndex& combos,
+                      const std::vector<CardinalityConstraint>& ccs,
+                      const CcRelationMatrix& relations,
+                      const HasseDiagram& diagram, Phase1HasseStats* stats) {
+  ScopedTimer timer(&stats->recursion_seconds);
+  (void)relations;  // classification already encoded in `diagram`
+  CEXTEND_ASSIGN_OR_RETURN(std::vector<CcPlan> plans,
+                           BuildPlans(state, combos, ccs));
+  HasseRecursion recursion(state, combos, ccs, diagram, std::move(plans),
+                           stats);
+  for (size_t comp = 0; comp < diagram.num_components(); ++comp) {
+    for (int m : diagram.maximal_elements(static_cast<int>(comp))) {
+      recursion.ProcessNode(m);
+    }
+  }
+  return Status::Ok();
+}
+
+Status RunPhase1HasseStandalone(FillState& state, const ComboIndex& combos,
+                                const std::vector<CardinalityConstraint>& ccs,
+                                const Schema& r1_schema,
+                                const Schema& r2_schema,
+                                Phase1HasseStats* stats) {
+  CEXTEND_ASSIGN_OR_RETURN(CcRelationMatrix relations,
+                           ClassifyAll(ccs, r1_schema, r2_schema));
+  for (size_t i = 0; i < relations.size(); ++i) {
+    for (size_t j = i + 1; j < relations.size(); ++j) {
+      if (relations.At(i, j) == CcRelation::kIntersecting) {
+        return Status::FailedPrecondition(
+            "Algorithm 2 requires a CC set without intersecting pairs; " +
+            ccs[i].name + " intersects " + ccs[j].name);
+      }
+    }
+  }
+  HasseDiagram diagram = HasseDiagram::Build(relations);
+  return RunPhase1Hasse(state, combos, ccs, relations, diagram, stats);
+}
+
+StatusOr<std::vector<uint32_t>> CompleteLeftoverRows(
+    FillState& state, const ComboIndex& combos,
+    const std::vector<CardinalityConstraint>& avoid_ccs,
+    const std::vector<DenialConstraint>& dcs, LeftoverMode mode, Rng& rng,
+    FinalFillStats* stats) {
+  std::vector<uint32_t> invalid;
+  std::vector<uint32_t> leftovers = state.DrainPools();
+  // Rows given partial assignments also need completion; none of the shipped
+  // algorithms produce them today, but the API allows it.
+  for (uint32_t row : state.partial_rows()) leftovers.push_back(row);
+
+  if (leftovers.empty()) return invalid;
+
+  if (mode == LeftoverMode::kRandom) {
+    // Baseline behaviour: uniformly random existing combo per row.
+    if (combos.num_combos() == 0) {
+      return Status::FailedPrecondition("R2 has no rows to draw combos from");
+    }
+    for (uint32_t row : leftovers) {
+      size_t combo = static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(combos.num_combos()) - 1));
+      state.AssignFullCombo(row, combos.combo_codes(combo));
+      ++stats->completed_rows;
+    }
+    return invalid;
+  }
+
+  // kAvoidCcs: per bin, find the existing combos that newly satisfy no
+  // avoid-CC relevant to the bin; fall back to a synthesized unused combo.
+  const Binning& binning = state.binning();
+  const Table& v_join = state.v_join();
+
+  // cc -> matching bins bitmap; cc -> matching combos bitmap.
+  size_t num_ccs = avoid_ccs.size();
+  std::vector<std::vector<char>> bin_match(
+      num_ccs, std::vector<char>(binning.num_bins(), 0));
+  std::vector<std::vector<char>> combo_match(
+      num_ccs, std::vector<char>(combos.num_combos(), 0));
+  for (size_t c = 0; c < num_ccs; ++c) {
+    CEXTEND_ASSIGN_OR_RETURN(std::vector<size_t> bins,
+                             binning.MatchingBins(avoid_ccs[c].r1_condition));
+    for (size_t b : bins) bin_match[c][b] = 1;
+    CEXTEND_ASSIGN_OR_RETURN(
+        std::vector<size_t> cs,
+        combos.MatchingCombos(avoid_ccs[c].r2_condition));
+    for (size_t i : cs) combo_match[c][i] = 1;
+  }
+
+  // A synthesized fully-unused combo, if one exists: per B column, a value in
+  // the active domain used by no avoid-CC (the paper's combo_unused lifted to
+  // value level, Example 4.6). Any row completed with it contributes to no
+  // CC. The combo may be absent from R2, in which case phase II mints fresh
+  // keys (new R2 tuples), as in the paper.
+  std::optional<std::vector<int64_t>> synthesized;
+  {
+    size_t q = state.b_cols().size();
+    // Attribute sets of every avoid-CC's R2 condition, resolved against the
+    // join view's schema (the B columns share R2's dictionaries).
+    std::vector<std::map<std::string, AttrSet>> cc_sets;
+    cc_sets.reserve(num_ccs);
+    bool sets_ok = true;
+    for (size_t c = 0; c < num_ccs; ++c) {
+      auto sets = ComputeAttrSets(avoid_ccs[c].r2_condition, v_join.schema());
+      if (!sets.ok()) {
+        sets_ok = false;
+        break;
+      }
+      cc_sets.push_back(std::move(sets).value());
+    }
+    std::vector<int64_t> combo(q, kNullCode);
+    bool all_columns_ok = sets_ok && q > 0;
+    for (size_t col = 0; col < q && all_columns_ok; ++col) {
+      size_t vcol = state.b_cols()[col];
+      const std::string& col_name = v_join.schema().column(vcol).name;
+      bool is_string = v_join.schema().column(vcol).type == DataType::kString;
+      std::unordered_set<int64_t> domain;
+      for (size_t i = 0; i < combos.num_combos(); ++i)
+        domain.insert(combos.combo_codes(i)[col]);
+      int64_t chosen = kNullCode;
+      for (int64_t v : domain) {
+        bool used = false;
+        for (size_t c = 0; c < num_ccs && !used; ++c) {
+          auto it = cc_sets[c].find(col_name);
+          if (it == cc_sets[c].end()) continue;  // CC does not constrain col
+          if (is_string) {
+            used = it->second.ContainsString(v_join.DecodeCode(vcol, v)
+                                                 .AsString());
+          } else {
+            used = it->second.ContainsInt(v);
+          }
+        }
+        if (!used) {
+          chosen = v;
+          break;
+        }
+      }
+      if (chosen == kNullCode) {
+        all_columns_ok = false;
+      } else {
+        combo[col] = chosen;
+      }
+    }
+    if (all_columns_ok) synthesized = combo;
+  }
+
+  // Per bin: the list of zero-badness existing combos (cached), expanded by
+  // key count so round-robin respects R2's per-combo capacity. Only the CCs
+  // whose R1 condition covers the bin can veto a combo, and most bins are
+  // covered by a handful of CCs, so the relevant-CC list is collected first.
+  std::map<size_t, std::vector<size_t>> bin_free_combos;
+  auto free_combos_for_bin = [&](size_t bin) -> const std::vector<size_t>& {
+    auto it = bin_free_combos.find(bin);
+    if (it != bin_free_combos.end()) return it->second;
+    std::vector<size_t> relevant;
+    for (size_t c = 0; c < num_ccs; ++c) {
+      if (bin_match[c][bin]) relevant.push_back(c);
+    }
+    std::vector<size_t> free;
+    for (size_t i = 0; i < combos.num_combos(); ++i) {
+      bool bad = false;
+      for (size_t c : relevant) {
+        if (combo_match[c][i]) {
+          bad = true;
+          break;
+        }
+      }
+      if (!bad) free.push_back(i);
+    }
+    free = combos.ExpandByKeyCount(free);
+    return bin_free_combos.emplace(bin, std::move(free)).first->second;
+  };
+
+  // Stagger each bin's rotation start so different bins do not pile their
+  // first leftovers onto the same few combos.
+  std::map<size_t, size_t> bin_cursor;
+  auto cursor_for_bin = [&](size_t bin) -> size_t& {
+    auto [it, inserted] = bin_cursor.emplace(bin, bin * 7919);
+    return it->second;
+  };
+  // DC-aware per-combo capacity ledgers. A binary DC forms a clique class
+  // when a row can fill both of its tuple roles with the cross atoms
+  // trivially satisfied against itself (owner-owner, spouse-spouse): any two
+  // same-class rows sharing an FK violate the DC, so a combo can absorb at
+  // most keys(combo) of them. The fill keeps each class's per-combo load
+  // under that capacity whenever a candidate allows it, falling back to
+  // plain rotation (the paper's behaviour) when all are saturated.
+  std::vector<BoundDenialConstraint> clique_dcs;
+  for (const DenialConstraint& dc : dcs) {
+    if (dc.arity() != 2) continue;
+    auto bound = BoundDenialConstraint::Bind(dc, v_join);
+    if (bound.ok()) clique_dcs.push_back(std::move(bound).value());
+  }
+  auto row_classes = [&](uint32_t row) {
+    std::vector<size_t> classes;
+    for (size_t d = 0; d < clique_dcs.size(); ++d) {
+      const BoundDenialConstraint& dc = clique_dcs[d];
+      if (dc.SideMatches(v_join, row, 0) && dc.SideMatches(v_join, row, 1) &&
+          dc.CrossAtomsHold(v_join, {row, row})) {
+        classes.push_back(d);
+      }
+    }
+    return classes;
+  };
+  std::vector<std::vector<int64_t>> class_load(
+      clique_dcs.size(), std::vector<int64_t>(combos.num_combos(), 0));
+  {
+    // Seed loads with the rows phase I already assigned.
+    std::vector<uint8_t> is_leftover(v_join.NumRows(), 0);
+    for (uint32_t r : leftovers) is_leftover[r] = 1;
+    std::vector<int64_t> codes(state.b_cols().size());
+    for (size_t r = 0; r < v_join.NumRows() && !clique_dcs.empty(); ++r) {
+      if (is_leftover[r]) continue;
+      bool complete = true;
+      for (size_t i = 0; i < state.b_cols().size(); ++i) {
+        codes[i] = v_join.GetCode(r, state.b_cols()[i]);
+        if (codes[i] == kNullCode) {
+          complete = false;
+          break;
+        }
+      }
+      if (!complete) continue;
+      auto combo = combos.Find(codes);
+      if (!combo.has_value()) continue;
+      for (size_t d : row_classes(static_cast<uint32_t>(r))) {
+        ++class_load[d][*combo];
+      }
+    }
+  }
+  auto pick_from = [&](const std::vector<size_t>& candidates, size_t& cursor,
+                       const std::vector<size_t>& classes) -> size_t {
+    size_t chosen = candidates[cursor % candidates.size()];
+    bool found = classes.empty();
+    for (size_t attempt = 0; !found && attempt < candidates.size();
+         ++attempt) {
+      size_t combo = candidates[(cursor + attempt) % candidates.size()];
+      bool fits = true;
+      for (size_t d : classes) {
+        if (class_load[d][combo] >=
+            static_cast<int64_t>(combos.keys(combo).size())) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) {
+        chosen = combo;
+        cursor = cursor + attempt + 1;
+        found = true;
+      }
+    }
+    if (!found) ++cursor;  // all saturated: plain rotation
+    for (size_t d : classes) ++class_load[d][chosen];
+    return chosen;
+  };
+  for (uint32_t row : leftovers) {
+    // Skip rows that already have every B value (defensive; partial rows
+    // filled elsewhere would land here).
+    bool complete = true;
+    for (size_t col : state.b_cols()) {
+      if (v_join.IsNull(row, col)) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) continue;
+
+    size_t bin = binning.bin_of_row(row);
+    const std::vector<size_t>& free = free_combos_for_bin(bin);
+    if (!free.empty()) {
+      size_t pick = pick_from(free, cursor_for_bin(bin), row_classes(row));
+      state.AssignFullCombo(row, combos.combo_codes(pick));
+      ++stats->completed_rows;
+    } else if (synthesized.has_value()) {
+      state.AssignFullCombo(row, *synthesized);
+      ++stats->completed_rows;
+    } else {
+      invalid.push_back(row);
+      ++stats->invalid_rows;
+    }
+  }
+  return invalid;
+}
+
+}  // namespace cextend

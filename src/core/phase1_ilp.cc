@@ -1,0 +1,225 @@
+#include "core/phase1_ilp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "ilp/solver.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace cextend {
+namespace {
+
+/// One structural variable of the phase-I model.
+struct VarInfo {
+  size_t bin = 0;
+  /// Combo id, or kUnused for the bin's aggregated leftover variable.
+  static constexpr size_t kUnused = static_cast<size_t>(-1);
+  size_t combo = kUnused;
+};
+
+struct BuiltModel {
+  ilp::Model model;
+  std::vector<VarInfo> vars;              // structural variables only
+  std::vector<std::vector<int>> bin_vars; // var ids per bin
+  std::vector<int> slack_vars;            // u,v interleaved per CC (2 per CC)
+  size_t num_structural = 0;
+};
+
+}  // namespace
+
+Status RunPhase1Ilp(FillState& state, const ComboIndex& combos,
+                    const std::vector<CardinalityConstraint>& ccs,
+                    const Phase1IlpOptions& options, Phase1IlpStats* stats) {
+  if (ccs.empty()) return Status::Ok();
+  const Binning& binning = state.binning();
+  size_t num_bins = binning.num_bins();
+
+  BuiltModel built;
+  {
+    ScopedTimer timer(&stats->model_build_seconds);
+
+    // Per CC: matching bins and combos.
+    std::vector<std::vector<size_t>> cc_bins(ccs.size());
+    std::vector<std::vector<size_t>> cc_combos(ccs.size());
+    for (size_t c = 0; c < ccs.size(); ++c) {
+      CEXTEND_ASSIGN_OR_RETURN(cc_bins[c],
+                               binning.MatchingBins(ccs[c].r1_condition));
+      CEXTEND_ASSIGN_OR_RETURN(cc_combos[c],
+                               combos.MatchingCombos(ccs[c].r2_condition));
+    }
+
+    // Referenced combos per bin (union over covering CCs).
+    std::vector<std::map<size_t, int>> bin_combo_var(num_bins);
+    built.bin_vars.resize(num_bins);
+    for (size_t c = 0; c < ccs.size(); ++c) {
+      for (size_t bin : cc_bins[c]) {
+        if (state.pool(bin).empty()) continue;  // nothing left to assign here
+        for (size_t combo : cc_combos[c]) {
+          auto [it, inserted] = bin_combo_var[bin].emplace(combo, -1);
+          if (inserted) {
+            int var = built.model.AddVariable(/*objective=*/0.0,
+                                              /*is_integer=*/true);
+            it->second = var;
+            built.vars.push_back({bin, combo});
+            built.bin_vars[bin].push_back(var);
+          }
+        }
+      }
+    }
+    // Aggregated unused variable per bin with remaining rows.
+    std::vector<int> unused_var(num_bins, -1);
+    for (size_t bin = 0; bin < num_bins; ++bin) {
+      if (state.pool(bin).empty()) continue;
+      int var = built.model.AddVariable(0.0, /*is_integer=*/true);
+      unused_var[bin] = var;
+      built.vars.push_back({bin, VarInfo::kUnused});
+      built.bin_vars[bin].push_back(var);
+    }
+    built.num_structural = built.model.num_variables();
+
+    // Bin marginal rows (hard equalities).
+    if (options.include_marginals) {
+      for (size_t bin = 0; bin < num_bins; ++bin) {
+        if (built.bin_vars[bin].empty()) continue;
+        std::vector<ilp::LinearTerm> terms;
+        terms.reserve(built.bin_vars[bin].size());
+        for (int var : built.bin_vars[bin]) terms.push_back({var, 1.0});
+        built.model.AddConstraint(std::move(terms), ilp::Sense::kEq,
+                                  static_cast<double>(state.pool(bin).size()));
+      }
+    }
+    // Without marginals there are *no* bin rows (the plain baseline of
+    // Section 6.1): the ILP may then demand more tuples of a type than R1
+    // has, and the greedy fill's "at most v_i tuples" silently undercounts —
+    // exactly the CC-error mechanism the paper attributes to the baseline.
+
+    // CC rows with slack:  sum x + u - v = target,  minimize sum(u+v).
+    for (size_t c = 0; c < ccs.size(); ++c) {
+      std::vector<ilp::LinearTerm> terms;
+      for (size_t bin : cc_bins[c]) {
+        for (size_t combo : cc_combos[c]) {
+          auto it = bin_combo_var[bin].find(combo);
+          if (it != bin_combo_var[bin].end()) terms.push_back({it->second, 1.0});
+        }
+      }
+      int u = built.model.AddVariable(1.0, /*is_integer=*/false);
+      int v = built.model.AddVariable(1.0, /*is_integer=*/false);
+      built.slack_vars.push_back(u);
+      built.slack_vars.push_back(v);
+      terms.push_back({u, 1.0});
+      terms.push_back({v, -1.0});
+      built.model.AddConstraint(std::move(terms), ilp::Sense::kEq,
+                                static_cast<double>(ccs[c].target),
+                                ccs[c].name);
+    }
+    stats->num_variables = built.model.num_variables();
+    stats->num_rows = built.model.num_constraints();
+  }
+
+  // Rounding heuristic: round structural vars, restore bin sums through the
+  // unused variable (or by trimming), then recompute slacks exactly. Always
+  // produces a feasible point, so branch & bound starts with an incumbent.
+  const bool marginals = options.include_marginals;
+  auto rounding = [&built, &state, &ccs, marginals](
+                      const std::vector<double>& lp)
+      -> std::optional<std::vector<double>> {
+    std::vector<double> x = lp;
+    for (size_t i = 0; i < built.num_structural; ++i)
+      x[i] = std::max(0.0, std::round(x[i]));
+    for (size_t bin = 0; marginals && bin < built.bin_vars.size(); ++bin) {
+      const std::vector<int>& vars = built.bin_vars[bin];
+      if (vars.empty()) continue;
+      double cap = static_cast<double>(state.pool(bin).size());
+      double total = 0.0;
+      int unused = -1;
+      for (int var : vars) {
+        total += x[static_cast<size_t>(var)];
+        if (built.vars[static_cast<size_t>(var)].combo == VarInfo::kUnused)
+          unused = var;
+      }
+      double excess = total - cap;
+      if (excess > 0) {
+        // Trim: unused first, then the largest variables.
+        if (unused >= 0) {
+          double cut = std::min(excess, x[static_cast<size_t>(unused)]);
+          x[static_cast<size_t>(unused)] -= cut;
+          excess -= cut;
+        }
+        for (int var : vars) {
+          if (excess <= 0) break;
+          double cut = std::min(excess, x[static_cast<size_t>(var)]);
+          x[static_cast<size_t>(var)] -= cut;
+          excess -= cut;
+        }
+      } else if (excess < 0 && marginals) {
+        if (unused >= 0) {
+          x[static_cast<size_t>(unused)] += -excess;
+        } else if (!vars.empty()) {
+          x[static_cast<size_t>(vars[0])] += -excess;
+        }
+      }
+    }
+    // Recompute slacks row by row.
+    size_t slack_idx = 0;
+    size_t first_cc_row =
+        built.model.num_constraints() - ccs.size();
+    for (size_t c = 0; c < ccs.size(); ++c) {
+      const ilp::LinearConstraint& row =
+          built.model.constraints()[first_cc_row + c];
+      int u = built.slack_vars[slack_idx++];
+      int v = built.slack_vars[slack_idx++];
+      double lhs = 0.0;
+      for (const ilp::LinearTerm& t : row.terms) {
+        if (t.var == u || t.var == v) continue;
+        lhs += t.coeff * x[static_cast<size_t>(t.var)];
+      }
+      double diff = row.rhs - lhs;  // want lhs + u - v = rhs
+      x[static_cast<size_t>(u)] = std::max(0.0, diff);
+      x[static_cast<size_t>(v)] = std::max(0.0, -diff);
+    }
+    return x;
+  };
+
+  ilp::IlpResult result;
+  {
+    ScopedTimer timer(&stats->solve_seconds);
+    ilp::IlpOptions ilp_options = options.ilp;
+    ilp_options.objective_target = 0.0;  // zero slack == all CCs satisfied
+    ilp_options.rounding_heuristic = rounding;
+    result = ilp::Solve(built.model, ilp_options);
+  }
+  stats->status = result.status;
+  stats->slack_total = result.objective;
+  stats->lp_iterations = result.lp_iterations;
+  stats->bnb_nodes = result.nodes;
+  if (result.status == ilp::IlpStatus::kInfeasible ||
+      result.status == ilp::IlpStatus::kNoSolution ||
+      result.status == ilp::IlpStatus::kUnbounded) {
+    // Leave all rows in the pools; the final fill deals with them. This
+    // mirrors the paper's tolerance of CC error when the system is hard.
+    return Status::Ok();
+  }
+
+  // Greedy fill (Algorithm 1 lines 15-17): for each variable, pop up to its
+  // value in rows from the bin and write the combo. Unused variables leave
+  // their rows pooled for the final fill.
+  {
+    ScopedTimer timer(&stats->fill_seconds);
+    for (size_t i = 0; i < built.num_structural; ++i) {
+      const VarInfo& info = built.vars[i];
+      if (info.combo == VarInfo::kUnused) continue;
+      int64_t count = static_cast<int64_t>(std::llround(result.values[i]));
+      if (count <= 0) continue;
+      std::vector<uint32_t> rows =
+          state.PopRows(info.bin, static_cast<size_t>(count));
+      for (uint32_t row : rows) {
+        state.AssignFullCombo(row, combos.combo_codes(info.combo));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace cextend

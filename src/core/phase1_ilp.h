@@ -1,0 +1,59 @@
+// Phase I, general case (Section 4.1, Algorithm 1): model the CCs as an
+// integer program over binned tuple-type variables and greedily fill B values
+// from its solution.
+//
+// Encoding. One integer variable per (bin, combo) pair where `combo` is a
+// distinct (B1..Bq) combination of R2 referenced by at least one CC covering
+// the bin, plus one aggregated "unused" variable per bin standing for every
+// other combination (those are interchangeable w.r.t. every CC, so a single
+// variable loses nothing — this is the paper's combo_unused lifted into the
+// ILP, and it is what keeps the model solvable by a dense simplex).
+// Rows:
+//   * per bin (optional — the all-way marginals of Section 4.1):
+//       sum over the bin's variables = bin pool size           (hard)
+//   * per CC:  sum of covered variables + u - v = target,  u,v >= 0 (soft)
+// Objective: minimize sum(u + v). A zero objective ⇔ all CCs satisfied.
+
+#ifndef CEXTEND_CORE_PHASE1_ILP_H_
+#define CEXTEND_CORE_PHASE1_ILP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "constraints/cardinality_constraint.h"
+#include "core/fill_state.h"
+#include "core/join_view.h"
+#include "ilp/branch_and_bound.h"
+#include "util/statusor.h"
+
+namespace cextend {
+
+struct Phase1IlpOptions {
+  /// Include the per-bin marginal rows (Algorithm 1 lines 8-10). The plain
+  /// baseline of Section 6.1 turns this off.
+  bool include_marginals = true;
+  ilp::IlpOptions ilp;
+};
+
+struct Phase1IlpStats {
+  double model_build_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double fill_seconds = 0.0;
+  size_t num_variables = 0;
+  size_t num_rows = 0;
+  ilp::IlpStatus status = ilp::IlpStatus::kNoSolution;
+  double slack_total = 0.0;  ///< optimal sum of CC deviations
+  int64_t lp_iterations = 0;
+  int64_t bnb_nodes = 0;
+};
+
+/// Runs Algorithm 1 for `ccs` over the unassigned rows in `state`. Rows
+/// selected by the solution get full combos written into V_join; leftovers
+/// stay in the pools for the shared final fill.
+Status RunPhase1Ilp(FillState& state, const ComboIndex& combos,
+                    const std::vector<CardinalityConstraint>& ccs,
+                    const Phase1IlpOptions& options, Phase1IlpStats* stats);
+
+}  // namespace cextend
+
+#endif  // CEXTEND_CORE_PHASE1_ILP_H_

@@ -1,0 +1,332 @@
+#include "core/phase2.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/conflict.h"
+#include "graph/list_coloring.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace cextend {
+namespace {
+
+struct Partition {
+  std::vector<int64_t> combo;        // B codes
+  std::vector<uint32_t> rows;        // v_join row ids
+  std::vector<int64_t> candidates;   // existing K2 keys with this combo
+};
+
+}  // namespace
+
+StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
+                                 const Table& r2, const PairSchema& names,
+                                 const std::vector<DenialConstraint>& dcs,
+                                 const std::vector<CardinalityConstraint>& ccs,
+                                 const std::vector<uint32_t>& invalid_rows,
+                                 const Phase2Options& options) {
+  Phase2Result result{r1.Clone(), r2.Clone(), {}};
+  Phase2Stats& stats = result.stats;
+  Rng rng(options.seed);
+
+  size_t fk_col = r1.schema().IndexOrDie(names.fk);
+  size_t k2_col = r2.schema().IndexOrDie(names.key2);
+  std::vector<size_t> b_cols_v;
+  for (const std::string& b : names.r2_attrs) {
+    b_cols_v.push_back(v_join.schema().IndexOrDie(b));
+  }
+
+  CEXTEND_ASSIGN_OR_RETURN(std::vector<BoundDenialConstraint> bound_dcs,
+                           BindAll(dcs, v_join));
+
+  std::vector<uint8_t> is_invalid(v_join.NumRows(), 0);
+  for (uint32_t r : invalid_rows) is_invalid[r] = 1;
+
+  // ---- Partition V_join by B values (Section 5.2 optimization). ----
+  std::map<std::vector<int64_t>, Partition> partitions;
+  {
+    ScopedTimer timer(&stats.partition_seconds);
+    std::vector<int64_t> key(b_cols_v.size());
+    for (size_t r = 0; r < v_join.NumRows(); ++r) {
+      if (is_invalid[r]) continue;
+      for (size_t i = 0; i < b_cols_v.size(); ++i) {
+        key[i] = v_join.GetCode(r, b_cols_v[i]);
+      }
+      Partition& p = partitions[key];
+      if (p.rows.empty()) p.combo = key;
+      p.rows.push_back(static_cast<uint32_t>(r));
+    }
+    // Candidate keys per partition from R2.
+    std::map<std::vector<int64_t>, std::vector<int64_t>> combo_keys;
+    std::vector<int64_t> r2key(b_cols_v.size());
+    std::vector<size_t> b_cols_r2;
+    for (const std::string& b : names.r2_attrs) {
+      b_cols_r2.push_back(r2.schema().IndexOrDie(b));
+    }
+    for (size_t r = 0; r < r2.NumRows(); ++r) {
+      for (size_t i = 0; i < b_cols_r2.size(); ++i) {
+        r2key[i] = r2.GetCode(r, b_cols_r2[i]);
+      }
+      combo_keys[r2key].push_back(r2.GetCode(r, k2_col));
+    }
+    for (auto& [combo, p] : partitions) {
+      auto it = combo_keys.find(combo);
+      if (it != combo_keys.end()) {
+        p.candidates = it->second;
+        std::sort(p.candidates.begin(), p.candidates.end());
+      }
+    }
+    stats.num_partitions = partitions.size();
+  }
+
+  // Fresh key allocation, shared across (possibly parallel) partitions.
+  int64_t next_key = 0;
+  for (size_t r = 0; r < r2.NumRows(); ++r) {
+    next_key = std::max(next_key, r2.GetCode(r, k2_col) + 1);
+  }
+  std::mutex alloc_mu;
+  struct NewTuple {
+    int64_t key;
+    std::vector<int64_t> combo;
+  };
+  std::vector<NewTuple> new_tuples;
+  auto allocate_keys = [&](size_t count,
+                           const std::vector<int64_t>& combo) {
+    std::unique_lock<std::mutex> lock(alloc_mu);
+    std::vector<int64_t> keys;
+    keys.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      keys.push_back(next_key);
+      new_tuples.push_back(NewTuple{next_key, combo});
+      ++next_key;
+    }
+    return keys;
+  };
+
+  // Global per-row color (key) array; partitions touch disjoint rows.
+  std::vector<int64_t> row_color(v_join.NumRows(), kNoColor);
+
+  // ---- Color each partition (Algorithm 4 lines 2-15). ----
+  std::vector<Partition*> worklist;
+  worklist.reserve(partitions.size());
+  for (auto& [combo, p] : partitions) worklist.push_back(&p);
+  // Large partitions first: better load balance under parallelism and
+  // deterministic order when sequential.
+  std::stable_sort(worklist.begin(), worklist.end(),
+                   [](const Partition* a, const Partition* b) {
+                     return a->rows.size() > b->rows.size();
+                   });
+
+  Status first_error = Status::Ok();
+  std::mutex error_mu;
+  std::mutex stats_mu;
+  auto color_partition = [&](size_t idx, Rng& local_rng) {
+    Partition& p = *worklist[idx];
+    if (options.random_assignment) {
+      for (uint32_t row : p.rows) {
+        int64_t key;
+        if (p.candidates.empty()) {
+          key = allocate_keys(1, p.combo)[0];
+        } else {
+          key = local_rng.Choice(p.candidates);
+        }
+        row_color[row] = key;
+      }
+      return;
+    }
+    auto oracle_or =
+        PartitionConflictOracle::Build(v_join, bound_dcs, p.rows);
+    if (!oracle_or.ok()) {
+      std::unique_lock<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = oracle_or.status();
+      return;
+    }
+    const PartitionConflictOracle& oracle = oracle_or.value();
+    ListColoringResult coloring =
+        GreedyListColoring(oracle, {}, p.candidates);
+    size_t skipped_here = coloring.skipped.size();
+    // Lines 11-14: |s| fresh colors, then color the skipped vertices with
+    // them; iterate in the (k-ary) corner case where skips remain.
+    while (!coloring.skipped.empty()) {
+      std::vector<int64_t> fresh =
+          allocate_keys(coloring.skipped.size(), p.combo);
+      ListColoringResult next =
+          GreedyListColoring(oracle, std::move(coloring.colors), fresh);
+      CEXTEND_CHECK(next.skipped.size() < coloring.skipped.size())
+          << "fresh-color pass must make progress";
+      coloring = std::move(next);
+      skipped_here += coloring.skipped.size();
+    }
+    for (size_t v = 0; v < p.rows.size(); ++v) {
+      row_color[p.rows[v]] = coloring.colors[v];
+    }
+    {
+      std::unique_lock<std::mutex> lock(stats_mu);
+      stats.skipped_vertices += skipped_here;
+    }
+  };
+
+  {
+    ScopedTimer timer(&stats.coloring_seconds);
+    if (options.num_threads > 1) {
+      ThreadPool pool(options.num_threads);
+      // One deterministic RNG per task index, so results do not depend on
+      // scheduling.
+      ParallelFor(&pool, worklist.size(), [&](size_t idx) {
+        Rng task_rng(options.seed ^ (0x9E3779B97F4A7C15ULL * (idx + 1)));
+        color_partition(idx, task_rng);
+      });
+    } else {
+      for (size_t idx = 0; idx < worklist.size(); ++idx) {
+        color_partition(idx, rng);
+      }
+    }
+  }
+  if (!first_error.ok()) return first_error;
+
+  // ---- solveInvalidTuples (line 16). ----
+  {
+    ScopedTimer timer(&stats.invalid_seconds);
+    stats.invalid_rows = invalid_rows.size();
+    if (!invalid_rows.empty()) {
+      CEXTEND_ASSIGN_OR_RETURN(ComboIndex combos,
+                               ComboIndex::Build(r2, names));
+      // Bind CC conditions once.
+      std::vector<BoundPredicate> cc_r1;
+      std::vector<std::vector<char>> cc_combo(ccs.size());
+      for (size_t c = 0; c < ccs.size(); ++c) {
+        CEXTEND_ASSIGN_OR_RETURN(
+            BoundPredicate p1,
+            BoundPredicate::Bind(ccs[c].r1_condition, v_join));
+        cc_r1.push_back(std::move(p1));
+        cc_combo[c].assign(combos.num_combos(), 0);
+        CEXTEND_ASSIGN_OR_RETURN(std::vector<size_t> match,
+                                 combos.MatchingCombos(ccs[c].r2_condition));
+        for (size_t i : match) cc_combo[c][i] = 1;
+      }
+      // Rows already colored per (combo, key), for conflict checks.
+      std::map<std::vector<int64_t>, std::unordered_map<int64_t,
+          std::vector<uint32_t>>> colored_by_combo_key;
+      {
+        std::vector<int64_t> key(b_cols_v.size());
+        for (size_t r = 0; r < v_join.NumRows(); ++r) {
+          if (is_invalid[r] || row_color[r] == kNoColor) continue;
+          for (size_t i = 0; i < b_cols_v.size(); ++i)
+            key[i] = v_join.GetCode(r, b_cols_v[i]);
+          colored_by_combo_key[key][row_color[r]].push_back(
+              static_cast<uint32_t>(r));
+        }
+      }
+      for (uint32_t row : invalid_rows) {
+        // Min-badness combo: fewest CCs newly satisfied by this row.
+        size_t best_combo = 0;
+        int64_t best_badness = INT64_MAX;
+        for (size_t i = 0; i < combos.num_combos(); ++i) {
+          int64_t badness = 0;
+          for (size_t c = 0; c < ccs.size(); ++c) {
+            if (cc_combo[c][i] && cc_r1[c].Matches(v_join, row)) ++badness;
+          }
+          if (badness < best_badness) {
+            best_badness = badness;
+            best_combo = i;
+            if (badness == 0) break;
+          }
+        }
+        const std::vector<int64_t>& combo = combos.combo_codes(best_combo);
+        for (size_t i = 0; i < b_cols_v.size(); ++i) {
+          v_join.SetCode(row, b_cols_v[i], combo[i]);
+        }
+        // Try existing keys of that combo without creating a violation.
+        auto& by_key = colored_by_combo_key[combo];
+        int64_t chosen = kNoColor;
+        for (int64_t key : combos.keys(best_combo)) {
+          bool ok = true;
+          auto it = by_key.find(key);
+          if (it != by_key.end()) {
+            for (uint32_t other : it->second) {
+              for (const BoundDenialConstraint& dc : bound_dcs) {
+                if (dc.arity() != 2) continue;
+                if (dc.BodyHoldsUnordered(v_join, {row, other})) {
+                  ok = false;
+                  break;
+                }
+              }
+              if (!ok) break;
+            }
+            // Higher-arity DCs: conservative full check on the bucket.
+            if (ok) {
+              for (const BoundDenialConstraint& dc : bound_dcs) {
+                if (dc.arity() == 2) continue;
+                std::vector<uint32_t> bucket = it->second;
+                bucket.push_back(row);
+                if (bucket.size() >= static_cast<size_t>(dc.arity())) {
+                  // Any arity-sized subset containing `row`.
+                  // Small buckets in practice; test all subsets.
+                  std::vector<uint32_t> subset(
+                      static_cast<size_t>(dc.arity()));
+                  std::vector<size_t> idxs(
+                      static_cast<size_t>(dc.arity() - 1));
+                  // Simple double loop for arity 3 (the shipped maximum).
+                  if (dc.arity() == 3) {
+                    for (size_t a = 0; a < it->second.size() && ok; ++a) {
+                      for (size_t b = a + 1; b < it->second.size() && ok;
+                           ++b) {
+                        if (dc.BodyHoldsUnordered(
+                                v_join,
+                                {row, it->second[a], it->second[b]})) {
+                          ok = false;
+                        }
+                      }
+                    }
+                  }
+                  (void)subset;
+                  (void)idxs;
+                }
+                if (!ok) break;
+              }
+            }
+          }
+          if (ok) {
+            chosen = key;
+            break;
+          }
+        }
+        if (chosen == kNoColor) {
+          chosen = allocate_keys(1, combo)[0];
+        }
+        row_color[row] = chosen;
+        by_key[chosen].push_back(row);
+      }
+    }
+  }
+
+  // ---- Write results. ----
+  for (size_t r = 0; r < v_join.NumRows(); ++r) {
+    CEXTEND_CHECK(row_color[r] != kNoColor) << "row " << r << " uncolored";
+    result.r1_hat.SetCode(r, fk_col, row_color[r]);
+  }
+  // Append new R2 tuples: key + combo values (shared dictionaries make the
+  // codes directly transferable).
+  std::vector<size_t> b_cols_r2;
+  for (const std::string& b : names.r2_attrs) {
+    b_cols_r2.push_back(r2.schema().IndexOrDie(b));
+  }
+  std::sort(new_tuples.begin(), new_tuples.end(),
+            [](const NewTuple& a, const NewTuple& b) { return a.key < b.key; });
+  for (const NewTuple& t : new_tuples) {
+    std::vector<int64_t> codes(r2.schema().NumColumns(), kNullCode);
+    codes[k2_col] = t.key;
+    for (size_t i = 0; i < b_cols_r2.size(); ++i) {
+      codes[b_cols_r2[i]] = t.combo[i];
+    }
+    result.r2_hat.AppendRowCodes(codes);
+  }
+  stats.new_r2_tuples = new_tuples.size();
+  return result;
+}
+
+}  // namespace cextend

@@ -1,0 +1,64 @@
+// Phase II (Section 5.2, Algorithm 4): reverse-engineer R1.FK from the
+// completed join view so that every DC holds and R1 ⋈ R2 reproduces V_join.
+//
+// V_join is partitioned by (B1..Bq) values — candidate keys are disjoint
+// across partitions, which is the paper's scalability optimization — and each
+// partition's conflict structure is list-colored (Algorithm 3). Skipped
+// vertices receive fresh keys, which materializes new R2 tuples. Invalid
+// tuples (no B values) are completed last with error-minimizing combos
+// (solveInvalidTuples). Partitions can be colored in parallel (Appendix A.3).
+
+#ifndef CEXTEND_CORE_PHASE2_H_
+#define CEXTEND_CORE_PHASE2_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "constraints/cardinality_constraint.h"
+#include "constraints/denial_constraint.h"
+#include "core/join_view.h"
+#include "relational/table.h"
+#include "util/statusor.h"
+
+namespace cextend {
+
+struct Phase2Options {
+  /// Baseline behaviour: pick a uniformly random candidate key per tuple
+  /// instead of coloring (ignores DCs entirely).
+  bool random_assignment = false;
+  /// Number of worker threads for partition coloring (1 = sequential).
+  size_t num_threads = 1;
+  uint64_t seed = 1;
+};
+
+struct Phase2Stats {
+  double partition_seconds = 0.0;
+  double coloring_seconds = 0.0;   ///< includes conflict construction
+  double invalid_seconds = 0.0;
+  size_t num_partitions = 0;
+  size_t skipped_vertices = 0;     ///< vertices needing fresh colors
+  size_t new_r2_tuples = 0;
+  size_t invalid_rows = 0;
+};
+
+struct Phase2Result {
+  Table r1_hat;
+  Table r2_hat;
+  Phase2Stats stats;
+};
+
+/// Completes R1.FK from `v_join`. `invalid_rows` lists rows whose B cells are
+/// still NULL (phase-I invalid tuples); `ccs` guides their error-minimizing
+/// completion. `v_join` is mutated only for invalid rows (their B cells get
+/// the chosen combos so that Prop. 5.5's join identity holds on output).
+StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
+                                 const Table& r2, const PairSchema& names,
+                                 const std::vector<DenialConstraint>& dcs,
+                                 const std::vector<CardinalityConstraint>& ccs,
+                                 const std::vector<uint32_t>& invalid_rows,
+                                 const Phase2Options& options);
+
+}  // namespace cextend
+
+#endif  // CEXTEND_CORE_PHASE2_H_

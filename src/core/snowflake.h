@@ -1,0 +1,56 @@
+// Snowflake-schema extension (Section 5.2, Example 5.6): solve a chain of
+// linked relations breadth-first from the fact table, including previously
+// completed relations in the R1 role so CCs can span the accumulated join.
+//
+// Two link shapes are supported:
+//   * fact links (FK lives in the fact table): R1 is the accumulated join of
+//     the fact table with all previously completed targets, so CC selections
+//     may reference any accumulated column (paper's step 2);
+//   * indirect links (FK lives in a non-fact relation, e.g. Majors ->
+//     Departments): R1 is that relation — including any tuples added by an
+//     earlier step — and CCs range over its join with the target.
+
+#ifndef CEXTEND_CORE_SNOWFLAKE_H_
+#define CEXTEND_CORE_SNOWFLAKE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+
+namespace cextend {
+
+struct SnowflakeRelation {
+  std::string name;
+  Table table;
+  std::string key;  ///< primary key column (INT64)
+};
+
+struct SnowflakeLink {
+  std::string source;     ///< relation owning the (missing) FK column
+  std::string fk_column;  ///< FK column in `source`
+  std::string target;     ///< referenced relation
+  std::vector<CardinalityConstraint> ccs;  ///< over the link's join view
+  std::vector<DenialConstraint> dcs;       ///< on the R1 role of the link
+};
+
+struct SnowflakeProblem {
+  std::string fact;  ///< name of the central (fact) relation
+  std::vector<SnowflakeRelation> relations;
+  std::vector<SnowflakeLink> links;
+};
+
+struct SnowflakeResult {
+  /// Completed relations by name (FKs filled; targets possibly augmented).
+  std::map<std::string, Table> tables;
+  /// Per-link statistics, in processing order.
+  std::vector<SolveStats> link_stats;
+};
+
+StatusOr<SnowflakeResult> SolveSnowflake(const SnowflakeProblem& problem,
+                                         const SolverOptions& options = {});
+
+}  // namespace cextend
+
+#endif  // CEXTEND_CORE_SNOWFLAKE_H_

@@ -1,0 +1,45 @@
+#include "core/solver.h"
+
+#include "util/timer.h"
+
+namespace cextend {
+
+StatusOr<Solution> SolveCExtension(const Table& r1, const Table& r2,
+                                   const PairSchema& names,
+                                   const std::vector<CardinalityConstraint>& ccs,
+                                   const std::vector<DenialConstraint>& dcs,
+                                   const SolverOptions& options) {
+  Stopwatch total_watch;
+  CEXTEND_RETURN_IF_ERROR(names.Validate(r1, r2));
+  CEXTEND_ASSIGN_OR_RETURN(Table v_join, MakeJoinView(r1, r2, names));
+
+  SolveStats stats;
+
+  // Phase I: complete the B columns of V_join from the CCs.
+  Stopwatch phase1_watch;
+  HybridOptions phase1_options = options.phase1;
+  if (phase1_options.seed == 1) phase1_options.seed = options.seed;
+  CEXTEND_ASSIGN_OR_RETURN(
+      HybridResult phase1,
+      RunHybridPhase1(v_join, r2, names, ccs, dcs, phase1_options));
+  stats.phase1 = phase1.stats;
+  stats.phase1_seconds = phase1_watch.ElapsedSeconds();
+  stats.invalid_tuples = phase1.invalid_rows.size();
+
+  // Phase II: impute FK values via conflict-hypergraph coloring.
+  Stopwatch phase2_watch;
+  Phase2Options phase2_options = options.phase2;
+  if (phase2_options.seed == 1) phase2_options.seed = options.seed;
+  CEXTEND_ASSIGN_OR_RETURN(
+      Phase2Result phase2,
+      RunPhase2(v_join, r1, r2, names, dcs, ccs, phase1.invalid_rows,
+                phase2_options));
+  stats.phase2 = phase2.stats;
+  stats.phase2_seconds = phase2_watch.ElapsedSeconds();
+  stats.total_seconds = total_watch.ElapsedSeconds();
+
+  return Solution{std::move(phase2.r1_hat), std::move(phase2.r2_hat),
+                  std::move(v_join), stats};
+}
+
+}  // namespace cextend

@@ -1,0 +1,45 @@
+// End-to-end C-Extension solver (Definition 2.6): the public entry point of
+// the library. Given R1 with an empty FK column, R2, CCs on the join view and
+// FK DCs on R1, produces R̂1 (FK filled), R̂2 (possibly augmented) and the
+// completed join view, with all DCs guaranteed satisfied (Prop. 5.5).
+
+#ifndef CEXTEND_CORE_SOLVER_H_
+#define CEXTEND_CORE_SOLVER_H_
+
+#include <vector>
+
+#include "constraints/cardinality_constraint.h"
+#include "constraints/denial_constraint.h"
+#include "core/hybrid.h"
+#include "core/join_view.h"
+#include "core/phase2.h"
+#include "core/stats.h"
+#include "relational/table.h"
+#include "util/statusor.h"
+
+namespace cextend {
+
+struct SolverOptions {
+  HybridOptions phase1;
+  Phase2Options phase2;
+  uint64_t seed = 1;
+};
+
+struct Solution {
+  Table r1_hat;  ///< R1 with the FK column completed
+  Table r2_hat;  ///< R2, possibly with fresh tuples appended
+  Table v_join;  ///< the completed join view (R̂1 ⋈ R̂2)
+  SolveStats stats;
+};
+
+/// Solves C-Extension for the linked pair. `r1.fk` cells are ignored (they
+/// are being synthesized); all other inputs are read-only.
+StatusOr<Solution> SolveCExtension(const Table& r1, const Table& r2,
+                                   const PairSchema& names,
+                                   const std::vector<CardinalityConstraint>& ccs,
+                                   const std::vector<DenialConstraint>& dcs,
+                                   const SolverOptions& options = {});
+
+}  // namespace cextend
+
+#endif  // CEXTEND_CORE_SOLVER_H_

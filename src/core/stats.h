@@ -1,0 +1,31 @@
+// Aggregated run statistics: the runtime breakdown reported in the paper's
+// Figures 11 and 13 plus solution-quality counters.
+
+#ifndef CEXTEND_CORE_STATS_H_
+#define CEXTEND_CORE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/hybrid.h"
+#include "core/phase2.h"
+
+namespace cextend {
+
+struct SolveStats {
+  HybridStats phase1;
+  Phase2Stats phase2;
+  double phase1_seconds = 0.0;
+  double phase2_seconds = 0.0;
+  double total_seconds = 0.0;
+  size_t invalid_tuples = 0;
+
+  /// Figure 13-style breakdown table.
+  std::string BreakdownTable() const;
+  /// One-line summary.
+  std::string Summary() const;
+};
+
+}  // namespace cextend
+
+#endif  // CEXTEND_CORE_STATS_H_

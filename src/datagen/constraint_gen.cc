@@ -1,0 +1,307 @@
+#include "datagen/constraint_gen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/join_view.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace cextend {
+namespace datagen {
+namespace {
+
+/// Adds the low/high pair of conjunctive DCs for a Table-4 range rule:
+/// "no `member` can have age outside [A+lo_off, A+hi_off]" (A = owner age),
+/// optionally conditioned on the owner's MultiLing value.
+void AddAgeGapDc(std::vector<DenialConstraint>& out, const std::string& name,
+                 const std::vector<Value>& member_rels, int64_t lo_off,
+                 int64_t hi_off, int owner_multi /* -1 = any */) {
+  for (int side = 0; side < 2; ++side) {
+    DenialConstraint dc(2, name + (side == 0 ? ".low" : ".high"));
+    dc.Unary(0, "Rel", CompareOp::kEq, Value(kOwner));
+    if (owner_multi >= 0) {
+      dc.Unary(0, "MultiLing", CompareOp::kEq, Value(int64_t{owner_multi}));
+    }
+    if (member_rels.size() == 1) {
+      dc.Unary(1, "Rel", CompareOp::kEq, member_rels[0]);
+    } else {
+      dc.UnaryIn(1, "Rel", member_rels);
+    }
+    if (side == 0) {
+      dc.Binary(1, "Age", CompareOp::kLt, 0, "Age", lo_off);
+    } else {
+      dc.Binary(1, "Age", CompareOp::kGt, 0, "Age", hi_off);
+    }
+    out.push_back(std::move(dc));
+  }
+}
+
+/// One row of the Table-5 predicate pools.
+struct PoolRow {
+  int64_t age_lo;
+  int64_t age_hi;
+  const char* rel;
+  int multi;  // -1 = unspecified
+};
+
+// The good family must contain *no* intersecting pair under the strict
+// Definitions 4.2-4.4. Two CCs with different (non-identical) R2 conditions
+// are only provably disjoint when their R1 conditions are disjoint or
+// identical, so the family is built from
+//   * "flat" representative rows — one per relationship, pairwise disjoint —
+//     that may be attached to any R2 condition, and
+//   * nested chains (parent ⊃ child rows, drawn from Table 5's nesting
+//     structure) that are each attached to exactly ONE R2 condition; chain
+//     rows are disjoint from every flat row and from every other chain.
+const std::vector<PoolRow>& GoodFlatRows() {
+  static const std::vector<PoolRow>* kRows = new std::vector<PoolRow>{
+      {18, 114, kOwner, 0},     {18, 114, kSpouse, 1},
+      {0, 10, kBioChild, -1},   {40, 85, kParent, 0},
+      {15, 85, kHousemate, 0},  {18, 30, kGrandchild, 0},
+      {18, 114, kPartner, 1},   {0, 20, kStepChild, -1},
+  };
+  return *kRows;
+}
+
+const std::vector<std::vector<PoolRow>>& GoodChains() {
+  static const std::vector<std::vector<PoolRow>>* kChains =
+      new std::vector<std::vector<PoolRow>>{
+          {{11, 18, kBioChild, -1}, {11, 13, kBioChild, -1}},
+          {{19, 30, kBioChild, -1}, {22, 30, kBioChild, -1}},
+          {{21, 30, kStepChild, -1}, {21, 30, kStepChild, 1}},
+          {{18, 39, kParent, -1}, {18, 39, kParent, 1}},
+          {{15, 85, kHousemate, 1}, {15, 40, kHousemate, 1}},
+          {{18, 30, kGrandchild, 1}, {22, 30, kGrandchild, 1}},
+          {{19, 40, kAdoptedChild, -1},
+           {25, 40, kAdoptedChild, 1},
+           {31, 40, kAdoptedChild, 1}},
+      };
+  return *kChains;
+}
+
+const std::vector<PoolRow>& BadPool() {
+  static const std::vector<PoolRow>* kPool = new std::vector<PoolRow>{
+      {18, 114, kOwner, 0},        {18, 114, kSpouse, 1},
+      {0, 10, kBioChild, -1},      {6, 10, kBioChild, -1},
+      {2, 5, kBioChild, -1},       {3, 5, kBioChild, 0},
+      {11, 18, kBioChild, -1},     {11, 13, kBioChild, -1},
+      {14, 18, kBioChild, -1},     {19, 30, kBioChild, -1},
+      {22, 30, kBioChild, -1},     {40, 85, kParent, 0},
+      {40, 85, kParent, 1},        {15, 85, kHousemate, 0},
+      {15, 85, kHousemate, 1},     {18, 30, kGrandchild, 0},
+      {18, 30, kGrandchild, 1},    {18, 114, kPartner, 1},
+      {0, 30, kStepChild, -1},     {21, 114, kSpouse, 1},
+      {21, 64, kSpouse, 1},        {18, 39, kSpouse, 1},
+      {18, 85, kSpouse, 1},        {40, 85, kSpouse, 1},
+      {65, 114, kParent, 1},       {0, 39, kGrandchild, 1},
+      {22, 39, kGrandchild, 1},    {0, 21, kStepChild, -1},
+      {19, 39, kAdoptedChild, -1}, {25, 39, kAdoptedChild, 1},
+      {31, 39, kAdoptedChild, 1},
+  };
+  return *kPool;
+}
+
+Predicate PoolPredicate(const PoolRow& row) {
+  Predicate p;
+  p.Between("Age", row.age_lo, row.age_hi);
+  p.Eq("Rel", Value(row.rel));
+  if (row.multi >= 0) p.Eq("MultiLing", Value(int64_t{row.multi}));
+  return p;
+}
+
+}  // namespace
+
+std::vector<DenialConstraint> MakeCensusDcs(bool good_only) {
+  std::vector<DenialConstraint> dcs;
+  std::vector<Value> bio_adopt_step = {Value(kBioChild), Value(kAdoptedChild),
+                                       Value(kStepChild)};
+  // DC1/DC2: child age in [A-69, A-12] (owner not multi-lingual) or
+  // [A-50, A-12] (multi-lingual).
+  AddAgeGapDc(dcs, "DC1", bio_adopt_step, -69, -12, /*owner_multi=*/0);
+  AddAgeGapDc(dcs, "DC2", bio_adopt_step, -50, -12, /*owner_multi=*/1);
+  // DC3: spouse or unmarried partner within [A-50, A+50].
+  AddAgeGapDc(dcs, "DC3", {Value(kSpouse), Value(kPartner)}, -50, 50, -1);
+  // DC4: sibling within [A-35, A+35].
+  AddAgeGapDc(dcs, "DC4", {Value(kSibling)}, -35, 35, -1);
+  // DC5: parent / parent-in-law within [A+12, A+115].
+  AddAgeGapDc(dcs, "DC5", {Value(kParent), Value(kParentInLaw)}, 12, 115, -1);
+  // DC6: grandchild within [A-115, A-30].
+  AddAgeGapDc(dcs, "DC6", {Value(kGrandchild)}, -115, -30, -1);
+  // DC7: son/daughter in-law within [A-69, A-1].
+  AddAgeGapDc(dcs, "DC7", {Value(kChildInLaw)}, -69, -1, -1);
+  // DC8: foster child within [A-69, A-12].
+  AddAgeGapDc(dcs, "DC8", {Value(kFosterChild)}, -69, -12, -1);
+  if (good_only) return dcs;
+
+  // DC9: no two householders share a house (a clique among owners).
+  {
+    DenialConstraint dc(2, "DC9");
+    dc.Unary(0, "Rel", CompareOp::kEq, Value(kOwner));
+    dc.Unary(1, "Rel", CompareOp::kEq, Value(kOwner));
+    dcs.push_back(std::move(dc));
+  }
+  // DC10: owner younger than 30 => no grandchild or son/daughter in-law.
+  {
+    DenialConstraint dc(2, "DC10");
+    dc.Unary(0, "Rel", CompareOp::kEq, Value(kOwner));
+    dc.Unary(0, "Age", CompareOp::kLt, Value(int64_t{30}));
+    dc.UnaryIn(1, "Rel", {Value(kGrandchild), Value(kChildInLaw)});
+    dcs.push_back(std::move(dc));
+  }
+  // DC11: owner older than 94 => no parent / parent-in-law.
+  {
+    DenialConstraint dc(2, "DC11");
+    dc.Unary(0, "Rel", CompareOp::kEq, Value(kOwner));
+    dc.Unary(0, "Age", CompareOp::kGt, Value(int64_t{94}));
+    dc.UnaryIn(1, "Rel", {Value(kParent), Value(kParentInLaw)});
+    dcs.push_back(std::move(dc));
+  }
+  // DC12: no two spouses/unmarried partners share a house.
+  {
+    DenialConstraint dc(2, "DC12");
+    dc.UnaryIn(0, "Rel", {Value(kSpouse), Value(kPartner)});
+    dc.UnaryIn(1, "Rel", {Value(kSpouse), Value(kPartner)});
+    dcs.push_back(std::move(dc));
+  }
+  return dcs;
+}
+
+StatusOr<std::vector<CardinalityConstraint>> GenerateCcs(
+    const CensusData& data, const CcFamilyOptions& options) {
+  Rng rng(options.seed);
+  (void)rng;  // reserved for future randomized variants
+  const std::vector<PoolRow>& pool = BadPool();
+
+  // R2-side condition pool. Area values below 121 are reserved for Area-only
+  // CCs, the rest feed the Tenure-Area pairs; keeping the two sets disjoint
+  // mirrors the paper's "469 Tenure-Area values and another 121 Area values".
+  size_t area_col = data.housing.schema().IndexOrDie("Area");
+  size_t tenure_col = data.housing.schema().IndexOrDie("Tenure");
+  std::set<std::pair<std::string, std::string>> pairs_seen;
+  std::set<std::string> areas_seen;
+  for (size_t r = 0; r < data.housing.NumRows(); ++r) {
+    std::string area = data.housing.GetValue(r, area_col).AsString();
+    std::string tenure = data.housing.GetValue(r, tenure_col).AsString();
+    // Area code "Axxx": xxx < 121 => Area-only pool.
+    int64_t num = *ParseInt64(area.substr(1));
+    if (num < 121) {
+      areas_seen.insert(area);
+    } else {
+      pairs_seen.insert({tenure, area});
+    }
+  }
+  struct R2Cond {
+    Predicate pred;
+    std::string label;
+  };
+  std::vector<R2Cond> r2_conditions;
+  for (const auto& [tenure, area] : pairs_seen) {
+    if (r2_conditions.size() >= options.num_tenure_area_pairs) break;
+    Predicate p;
+    p.Eq("Tenure", Value(tenure)).Eq("Area", Value(area));
+    r2_conditions.push_back({std::move(p), tenure + "/" + area});
+  }
+  size_t area_only = 0;
+  for (const std::string& area : areas_seen) {
+    if (area_only >= options.num_area_only) break;
+    Predicate p;
+    p.Eq("Area", Value(area));
+    r2_conditions.push_back({std::move(p), area});
+    ++area_only;
+  }
+  if (r2_conditions.empty()) {
+    return Status::FailedPrecondition(
+        "housing table too small to derive R2 conditions");
+  }
+
+  // Ground-truth join for target counting.
+  CEXTEND_ASSIGN_OR_RETURN(
+      Table truth_join,
+      MaterializeJoin(data.persons_truth, data.housing, data.names));
+
+  std::vector<CardinalityConstraint> ccs;
+  ccs.reserve(options.num_ccs);
+  auto emit = [&](const PoolRow& row, const Predicate& r2) {
+    CardinalityConstraint cc;
+    cc.name = StrFormat("CC%zu", ccs.size() + 1);
+    cc.r1_condition = PoolPredicate(row);
+    cc.r2_condition = r2;
+    ccs.push_back(std::move(cc));
+  };
+
+  if (!options.intersecting) {
+    // Good family. Chains first (each exclusive to one R2 condition), then
+    // flat representatives cycled over all conditions; any two CCs end up
+    // disjoint or contained, never intersecting.
+    const auto& chains = GoodChains();
+    size_t chain_cond = 0;
+    for (const auto& chain : chains) {
+      if (chain_cond >= r2_conditions.size()) break;
+      if (ccs.size() + chain.size() > options.num_ccs) break;
+      for (const PoolRow& row : chain) {
+        emit(row, r2_conditions[chain_cond].pred);
+      }
+      ++chain_cond;
+    }
+    const auto& flat = GoodFlatRows();
+    for (size_t cycle = 0; ccs.size() < options.num_ccs; ++cycle) {
+      if (cycle >= flat.size()) {
+        return Status::InvalidArgument(StrFormat(
+            "cannot derive %zu intersection-free CCs from %zu R2 conditions "
+            "x %zu flat rows", options.num_ccs, r2_conditions.size(),
+            flat.size()));
+      }
+      // Conditions consumed by chains only host flat rows in later cycles to
+      // keep chain rows unique to their condition... flat rows are disjoint
+      // from all chain rows, so they can share the condition safely.
+      for (size_t i = 0; i < r2_conditions.size() && ccs.size() < options.num_ccs;
+           ++i) {
+        emit(flat[(i + cycle) % flat.size()], r2_conditions[i].pred);
+      }
+    }
+    (void)pool;
+  } else {
+    // Bad family: cycle the Table-5 bad pool (overlapping Age intervals)
+    // over the R2 conditions; intersections arise by construction.
+    size_t pool_offset = 0;
+    for (size_t i = 0; ccs.size() < options.num_ccs; ++i) {
+      const R2Cond& cond = r2_conditions[i % r2_conditions.size()];
+      if (i > 0 && i % r2_conditions.size() == 0) ++pool_offset;
+      if (pool_offset >= pool.size()) {
+        return Status::InvalidArgument(StrFormat(
+            "cannot derive %zu distinct CCs from %zu R2 conditions x %zu "
+            "pool rows", options.num_ccs, r2_conditions.size(), pool.size()));
+      }
+      const PoolRow& row =
+          pool[(i + pool_offset * 7919) % pool.size()];  // spread pool usage
+      emit(row, cond.pred);
+    }
+  }
+
+  // Deduplicate identical (r1, r2) combinations that the cycling may create.
+  {
+    std::set<std::string> seen;
+    std::vector<CardinalityConstraint> unique;
+    for (CardinalityConstraint& cc : ccs) {
+      std::string sig =
+          cc.r1_condition.ToString() + "|" + cc.r2_condition.ToString();
+      if (seen.insert(sig).second) unique.push_back(std::move(cc));
+    }
+    ccs = std::move(unique);
+  }
+
+  // Targets from the ground truth.
+  for (CardinalityConstraint& cc : ccs) {
+    CEXTEND_ASSIGN_OR_RETURN(
+        BoundPredicate pred,
+        BoundPredicate::Bind(cc.JoinCondition(), truth_join));
+    cc.target = static_cast<int64_t>(pred.CountMatches(truth_join));
+  }
+  return ccs;
+}
+
+}  // namespace datagen
+}  // namespace cextend

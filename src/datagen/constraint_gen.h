@@ -1,0 +1,50 @@
+// Generators for the constraint sets of the paper's experiments:
+//   * the 12 denial constraints of Table 4 (S_all_DC) and the first-8 subset
+//     (S_good_DC, which creates no cliques in conflict graphs);
+//   * the S_good_CC / S_bad_CC families of Table 5 (1001 CCs each, built from
+//     469 Tenure-Area pairs plus 121 Area-only values, combined with the
+//     good/bad R1-predicate pools; "bad" pools contain intersecting Age
+//     intervals).
+// Targets are counted on the materialized ground-truth join, as the paper
+// derives targets from the real data.
+
+#ifndef CEXTEND_DATAGEN_CONSTRAINT_GEN_H_
+#define CEXTEND_DATAGEN_CONSTRAINT_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "constraints/cardinality_constraint.h"
+#include "constraints/denial_constraint.h"
+#include "datagen/census.h"
+#include "util/statusor.h"
+
+namespace cextend {
+namespace datagen {
+
+/// Table 4. Range rules expand to a low/high pair of conjunctive DCs, so the
+/// vector holds more entries than 12; `names` encode the paper numbering
+/// ("DC1.low", "DC9", ...). `good_only` keeps DCs 1-8 (S_good_DC).
+std::vector<DenialConstraint> MakeCensusDcs(bool good_only);
+
+struct CcFamilyOptions {
+  size_t num_ccs = 1001;
+  /// false: the S_good pool (containment chains only); true: the S_bad pool
+  /// (intersecting Age intervals).
+  bool intersecting = false;
+  /// Tenure-Area pairs / Area-only values to draw R2-side conditions from
+  /// (paper: 469 and 121). Clamped to what the data provides.
+  size_t num_tenure_area_pairs = 469;
+  size_t num_area_only = 121;
+  uint64_t seed = 7;
+};
+
+/// Builds a CC family over the generated census data, with targets counted
+/// on the ground truth join.
+StatusOr<std::vector<CardinalityConstraint>> GenerateCcs(
+    const CensusData& data, const CcFamilyOptions& options);
+
+}  // namespace datagen
+}  // namespace cextend
+
+#endif  // CEXTEND_DATAGEN_CONSTRAINT_GEN_H_

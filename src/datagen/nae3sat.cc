@@ -1,0 +1,133 @@
+#include "datagen/nae3sat.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace cextend {
+namespace datagen {
+
+StatusOr<Nae3SatEncoding> EncodeNae3Sat(const Nae3SatInstance& instance) {
+  Schema r1_schema{{"rid", DataType::kInt64},
+                   {"Var", DataType::kInt64},
+                   {"Alpha", DataType::kInt64},
+                   {"Cls", DataType::kInt64},
+                   {"Chosen", DataType::kInt64}};
+  Table r1{r1_schema};
+  int64_t rid = 1;
+  for (size_t c = 0; c < instance.clauses.size(); ++c) {
+    for (int literal : instance.clauses[c]) {
+      if (literal == 0 || std::abs(literal) > instance.num_vars) {
+        return Status::InvalidArgument("literal out of range");
+      }
+      int64_t var = std::abs(literal) - 1;
+      // (x_i, 1, C_j) when setting x_i true satisfies C_j (positive literal);
+      // (x_i, 0, C_j) for a negative literal.
+      int64_t alpha = literal > 0 ? 1 : 0;
+      CEXTEND_RETURN_IF_ERROR(
+          r1.AppendRow({Value(rid++), Value(var), Value(alpha),
+                        Value(static_cast<int64_t>(c)), Value::Null()}));
+    }
+  }
+  Schema r2_schema{{"Chosen", DataType::kInt64}, {"E", DataType::kInt64}};
+  Table r2{r2_schema};
+  CEXTEND_RETURN_IF_ERROR(r2.AppendRow({Value(int64_t{0}), Value(int64_t{0})}));
+  CEXTEND_RETURN_IF_ERROR(r2.AppendRow({Value(int64_t{1}), Value(int64_t{1})}));
+
+  Nae3SatEncoding enc{std::move(r1), std::move(r2), {}, {}};
+  CEXTEND_ASSIGN_OR_RETURN(
+      enc.names, PairSchema::Infer(enc.r1, enc.r2, "rid", "Chosen", "Chosen"));
+
+  // DC (1): rows of one variable with opposite Alpha cannot share Chosen.
+  DenialConstraint consistency(2, "var-consistency");
+  consistency.Binary(0, "Var", CompareOp::kEq, 1, "Var");
+  consistency.Binary(0, "Alpha", CompareOp::kNe, 1, "Alpha");
+  enc.dcs.push_back(std::move(consistency));
+  // DC (2): the three rows of one clause cannot all share Chosen.
+  DenialConstraint nae(3, "clause-nae");
+  nae.Binary(0, "Cls", CompareOp::kEq, 1, "Cls");
+  nae.Binary(1, "Cls", CompareOp::kEq, 2, "Cls");
+  enc.dcs.push_back(std::move(nae));
+  return enc;
+}
+
+std::optional<std::vector<bool>> DecodeAssignment(
+    const Nae3SatInstance& instance, const Table& r1_hat) {
+  size_t var_col = r1_hat.schema().IndexOrDie("Var");
+  size_t alpha_col = r1_hat.schema().IndexOrDie("Alpha");
+  size_t chosen_col = r1_hat.schema().IndexOrDie("Chosen");
+  std::vector<int> decided(static_cast<size_t>(instance.num_vars), -1);
+  for (size_t r = 0; r < r1_hat.NumRows(); ++r) {
+    int64_t var = r1_hat.GetCode(r, var_col);
+    int64_t alpha = r1_hat.GetCode(r, alpha_col);
+    int64_t chosen = r1_hat.GetCode(r, chosen_col);
+    if (chosen == kNullCode) return std::nullopt;
+    // chosen == 1 means "assign the variable its row's alpha value".
+    int value = chosen == 1 ? static_cast<int>(alpha)
+                            : 1 - static_cast<int>(alpha);
+    if (decided[static_cast<size_t>(var)] == -1) {
+      decided[static_cast<size_t>(var)] = value;
+    } else if (decided[static_cast<size_t>(var)] != value) {
+      return std::nullopt;  // inconsistent: DC (1) was violated
+    }
+  }
+  std::vector<bool> out(static_cast<size_t>(instance.num_vars));
+  for (size_t v = 0; v < out.size(); ++v) {
+    out[v] = decided[v] == 1;  // untouched variables default to false
+  }
+  return out;
+}
+
+bool IsNaeSatisfying(const Nae3SatInstance& instance,
+                     const std::vector<bool>& assignment) {
+  for (const auto& clause : instance.clauses) {
+    bool any_true = false;
+    bool any_false = false;
+    for (int literal : clause) {
+      bool value = assignment[static_cast<size_t>(std::abs(literal) - 1)];
+      if (literal < 0) value = !value;
+      (value ? any_true : any_false) = true;
+    }
+    if (!any_true || !any_false) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<bool>> BruteForceNae(
+    const Nae3SatInstance& instance) {
+  CEXTEND_CHECK(instance.num_vars <= 24) << "brute force limited to 24 vars";
+  uint64_t limit = uint64_t{1} << instance.num_vars;
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    std::vector<bool> assignment(static_cast<size_t>(instance.num_vars));
+    for (int v = 0; v < instance.num_vars; ++v) {
+      assignment[static_cast<size_t>(v)] = (mask >> v) & 1;
+    }
+    if (IsNaeSatisfying(instance, assignment)) return assignment;
+  }
+  return std::nullopt;
+}
+
+Nae3SatInstance RandomNae3Sat(int num_vars, int num_clauses, Rng& rng) {
+  CEXTEND_CHECK(num_vars >= 3);
+  Nae3SatInstance instance;
+  instance.num_vars = num_vars;
+  for (int c = 0; c < num_clauses; ++c) {
+    std::array<int, 3> clause{};
+    std::vector<int64_t> vars;
+    while (vars.size() < 3) {
+      int64_t v = rng.UniformInt(0, num_vars - 1);
+      bool dup = false;
+      for (int64_t u : vars) dup = dup || u == v;
+      if (!dup) vars.push_back(v);
+    }
+    for (int i = 0; i < 3; ++i) {
+      int sign = rng.Bernoulli(0.5) ? 1 : -1;
+      clause[static_cast<size_t>(i)] = sign * static_cast<int>(vars[static_cast<size_t>(i)] + 1);
+    }
+    instance.clauses.push_back(clause);
+  }
+  return instance;
+}
+
+}  // namespace datagen
+}  // namespace cextend

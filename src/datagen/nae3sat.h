@@ -1,0 +1,59 @@
+// The NAE-3SAT -> C-Extension reduction of Proposition 2.8, as an executable
+// encoder/decoder. Used by the hardness tests and the `nae3sat_reduction`
+// example to exercise the reduction end to end.
+
+#ifndef CEXTEND_DATAGEN_NAE3SAT_H_
+#define CEXTEND_DATAGEN_NAE3SAT_H_
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "constraints/denial_constraint.h"
+#include "core/join_view.h"
+#include "relational/table.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace cextend {
+namespace datagen {
+
+/// A 3-CNF instance; literals are +-(var+1), vars are 0-based.
+struct Nae3SatInstance {
+  int num_vars = 0;
+  std::vector<std::array<int, 3>> clauses;
+};
+
+/// The relational encoding of Proposition 2.8: R1(rid, Var, Alpha, Cls,
+/// Chosen) with Chosen missing, R2(Chosen, E) = {(0,0),(1,1)}, and the two
+/// DCs (consistency of per-variable choices; not-all-equal per clause).
+struct Nae3SatEncoding {
+  Table r1;
+  Table r2;
+  PairSchema names;
+  std::vector<DenialConstraint> dcs;
+};
+
+StatusOr<Nae3SatEncoding> EncodeNae3Sat(const Nae3SatInstance& instance);
+
+/// Reads the boolean assignment back from a completed R1 (Chosen = 1 iff the
+/// variable takes its row's Alpha value). Returns nullopt when rows of the
+/// same variable disagree (i.e. the completion violates DC 1).
+std::optional<std::vector<bool>> DecodeAssignment(
+    const Nae3SatInstance& instance, const Table& r1_hat);
+
+/// True when `assignment` NAE-satisfies the instance: every clause has at
+/// least one true and at least one false literal.
+bool IsNaeSatisfying(const Nae3SatInstance& instance,
+                     const std::vector<bool>& assignment);
+
+/// Exhaustive search for small instances (num_vars <= 24).
+std::optional<std::vector<bool>> BruteForceNae(const Nae3SatInstance& instance);
+
+/// Random instance with `num_clauses` distinct-variable clauses.
+Nae3SatInstance RandomNae3Sat(int num_vars, int num_clauses, Rng& rng);
+
+}  // namespace datagen
+}  // namespace cextend
+
+#endif  // CEXTEND_DATAGEN_NAE3SAT_H_

@@ -1,0 +1,62 @@
+#include "graph/hypergraph.h"
+
+#include "util/logging.h"
+
+namespace cextend {
+
+Hypergraph::Hypergraph(size_t num_vertices) : incident_(num_vertices) {}
+
+void Hypergraph::AddEdge(std::vector<int> vertices) {
+  CEXTEND_CHECK(vertices.size() >= 2) << "hyperedge arity must be >= 2";
+  for (int v : vertices) {
+    CEXTEND_CHECK(v >= 0 && static_cast<size_t>(v) < incident_.size())
+        << "vertex out of range: " << v;
+  }
+  int edge_id = static_cast<int>(edges_.size());
+  for (int v : vertices) incident_[static_cast<size_t>(v)].push_back(edge_id);
+  edges_.push_back(std::move(vertices));
+}
+
+void Hypergraph::AppendForbiddenColors(size_t v,
+                                       const std::vector<int64_t>& colors,
+                                       std::vector<int64_t>* out) const {
+  constexpr int64_t kNoColor = INT64_MIN;
+  for (int e : incident_[v]) {
+    const std::vector<int>& edge = edges_[static_cast<size_t>(e)];
+    int64_t common = kNoColor;
+    bool all_same = true;
+    for (int u : edge) {
+      if (static_cast<size_t>(u) == v) continue;
+      int64_t cu = colors[static_cast<size_t>(u)];
+      if (cu == kNoColor) {
+        all_same = false;
+        break;
+      }
+      if (common == kNoColor) {
+        common = cu;
+      } else if (common != cu) {
+        all_same = false;
+        break;
+      }
+    }
+    if (all_same && common != kNoColor) out->push_back(common);
+  }
+}
+
+bool Hypergraph::IsProperColoring(const std::vector<int64_t>& colors) const {
+  constexpr int64_t kNoColor = INT64_MIN;
+  for (const std::vector<int>& edge : edges_) {
+    bool distinct = false;
+    int64_t first = colors[static_cast<size_t>(edge[0])];
+    if (first == kNoColor) return false;
+    for (size_t i = 1; i < edge.size(); ++i) {
+      int64_t c = colors[static_cast<size_t>(edge[i])];
+      if (c == kNoColor) return false;  // uncolored vertices break the edge
+      if (c != first) distinct = true;
+    }
+    if (!distinct) return false;
+  }
+  return true;
+}
+
+}  // namespace cextend

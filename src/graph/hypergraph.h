@@ -1,0 +1,69 @@
+// Conflict hypergraphs (Definition 5.1) and the abstract conflict oracle
+// interface consumed by the greedy list-coloring algorithm.
+//
+// The paper materializes every hyperedge (NetworkX). Owner-owner style DCs
+// make partitions near-cliques with Θ(n²) edges, so phase II also provides a
+// streaming oracle that never stores pairwise edges; both implement
+// `ConflictOracle` and the coloring semantics are identical.
+
+#ifndef CEXTEND_GRAPH_HYPERGRAPH_H_
+#define CEXTEND_GRAPH_HYPERGRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cextend {
+
+/// Interface the list-coloring algorithm needs from a conflict structure.
+class ConflictOracle {
+ public:
+  virtual ~ConflictOracle() = default;
+
+  virtual size_t NumVertices() const = 0;
+
+  /// Number of hyperedges incident to `v` (ties the coloring order).
+  virtual int64_t Degree(size_t v) const = 0;
+
+  /// Appends to `out` every color `c` such that some edge containing `v` has
+  /// all of its *other* vertices colored `c` (the paper's forbidden rule).
+  /// `colors[u] == kNoColor` means u is uncolored. May append duplicates.
+  virtual void AppendForbiddenColors(size_t v,
+                                     const std::vector<int64_t>& colors,
+                                     std::vector<int64_t>* out) const = 0;
+};
+
+/// Explicitly stored hypergraph (vertices 0..n-1; edges of arity >= 2).
+class Hypergraph : public ConflictOracle {
+ public:
+  explicit Hypergraph(size_t num_vertices);
+
+  /// Adds an edge over `vertices` (arity >= 2, all in range).
+  void AddEdge(std::vector<int> vertices);
+
+  size_t num_edges() const { return edges_.size(); }
+  const std::vector<int>& edge(size_t e) const { return edges_[e]; }
+  const std::vector<int>& incident_edges(size_t v) const {
+    return incident_[v];
+  }
+
+  // ConflictOracle:
+  size_t NumVertices() const override { return incident_.size(); }
+  int64_t Degree(size_t v) const override {
+    return static_cast<int64_t>(incident_[v].size());
+  }
+  void AppendForbiddenColors(size_t v, const std::vector<int64_t>& colors,
+                             std::vector<int64_t>* out) const override;
+
+  /// A coloring is proper when every edge has >= 2 distinct colors among its
+  /// vertices. Uncolored vertices (kNoColor) make an edge improper.
+  bool IsProperColoring(const std::vector<int64_t>& colors) const;
+
+ private:
+  std::vector<std::vector<int>> edges_;
+  std::vector<std::vector<int>> incident_;
+};
+
+}  // namespace cextend
+
+#endif  // CEXTEND_GRAPH_HYPERGRAPH_H_

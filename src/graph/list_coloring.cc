@@ -1,0 +1,58 @@
+#include "graph/list_coloring.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace cextend {
+
+ListColoringResult GreedyListColoring(const ConflictOracle& oracle,
+                                      std::vector<int64_t> initial,
+                                      const std::vector<int64_t>& candidates) {
+  size_t n = oracle.NumVertices();
+  ListColoringResult result;
+  if (initial.empty()) {
+    result.colors.assign(n, kNoColor);
+  } else {
+    CEXTEND_CHECK(initial.size() == n);
+    result.colors = std::move(initial);
+  }
+
+  // l <- uncolored vertices, non-increasing degree; ties by index for
+  // determinism.
+  std::vector<int> order;
+  order.reserve(n);
+  for (size_t v = 0; v < n; ++v) {
+    if (result.colors[v] == kNoColor) order.push_back(static_cast<int>(v));
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return oracle.Degree(static_cast<size_t>(a)) >
+           oracle.Degree(static_cast<size_t>(b));
+  });
+
+  std::vector<int64_t> forbidden_list;
+  std::unordered_set<int64_t> forbidden;
+  for (int v : order) {
+    forbidden_list.clear();
+    oracle.AppendForbiddenColors(static_cast<size_t>(v), result.colors,
+                                 &forbidden_list);
+    forbidden.clear();
+    forbidden.insert(forbidden_list.begin(), forbidden_list.end());
+    int64_t chosen = kNoColor;
+    for (int64_t c : candidates) {
+      if (!forbidden.contains(c)) {
+        chosen = c;
+        break;
+      }
+    }
+    if (chosen == kNoColor) {
+      result.skipped.push_back(v);
+    } else {
+      result.colors[static_cast<size_t>(v)] = chosen;
+    }
+  }
+  return result;
+}
+
+}  // namespace cextend

@@ -1,0 +1,40 @@
+// Algorithm 3: largest-first greedy list coloring.
+//
+// Vertices are processed in non-increasing degree order; each takes the
+// first candidate color that is not forbidden by an incident edge whose other
+// vertices share a color. Vertices with an exhausted candidate list are
+// skipped and returned to the caller (Algorithm 4 colors them with fresh
+// colors, which corresponds to inserting new tuples into R2).
+
+#ifndef CEXTEND_GRAPH_LIST_COLORING_H_
+#define CEXTEND_GRAPH_LIST_COLORING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/hypergraph.h"
+
+namespace cextend {
+
+/// Sentinel for "no color assigned".
+inline constexpr int64_t kNoColor = INT64_MIN;
+
+struct ListColoringResult {
+  /// Per-vertex color (kNoColor where uncolored). Same length as the oracle's
+  /// vertex count; carries over the colors passed in `initial`.
+  std::vector<int64_t> colors;
+  /// Vertices left uncolored because every candidate was forbidden.
+  std::vector<int> skipped;
+};
+
+/// Runs ColoringLF(G, c, L). `initial` may be empty (all uncolored) or one
+/// entry per vertex. `candidates` is the ordered list L; "smallest available
+/// color" = first non-forbidden entry. Already-colored vertices are skipped,
+/// matching the resumable use in Algorithm 4.
+ListColoringResult GreedyListColoring(const ConflictOracle& oracle,
+                                      std::vector<int64_t> initial,
+                                      const std::vector<int64_t>& candidates);
+
+}  // namespace cextend
+
+#endif  // CEXTEND_GRAPH_LIST_COLORING_H_

@@ -1,0 +1,59 @@
+// Branch & bound over LP relaxations for integer programs.
+
+#ifndef CEXTEND_ILP_BRANCH_AND_BOUND_H_
+#define CEXTEND_ILP_BRANCH_AND_BOUND_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ilp/model.h"
+#include "ilp/simplex.h"
+
+namespace cextend {
+namespace ilp {
+
+enum class IlpStatus {
+  kOptimal,     ///< proven optimal integer solution
+  kFeasible,    ///< integer solution found, search budget exhausted
+  kInfeasible,  ///< no integer solution exists
+  kUnbounded,
+  kNoSolution,  ///< budget exhausted with no incumbent
+};
+
+const char* IlpStatusToString(IlpStatus s);
+
+struct IlpResult {
+  IlpStatus status = IlpStatus::kNoSolution;
+  std::vector<double> values;
+  double objective = 0.0;
+  int64_t nodes = 0;
+  int64_t lp_iterations = 0;
+};
+
+struct IlpOptions {
+  SimplexOptions simplex;
+  int64_t max_nodes = 2000;
+  double time_limit_seconds = 120.0;
+  double integrality_tol = 1e-6;
+  /// Stop as soon as an incumbent with objective <= target is found
+  /// (phase-I slack models use 0: a zero-slack solution is perfect).
+  std::optional<double> objective_target;
+  /// Optional domain heuristic: maps an LP-relaxation point to a feasible
+  /// integer point (or nullopt). Used to seed/improve the incumbent.
+  std::function<std::optional<std::vector<double>>(
+      const std::vector<double>&)> rounding_heuristic;
+};
+
+/// True when `x` satisfies all of `model`'s constraints, bounds and
+/// integrality requirements within `tol`.
+bool IsFeasible(const Model& model, const std::vector<double>& x, double tol);
+
+/// Solves the integer program by best-first branch & bound.
+IlpResult SolveIlp(const Model& model, const IlpOptions& options = {});
+
+}  // namespace ilp
+}  // namespace cextend
+
+#endif  // CEXTEND_ILP_BRANCH_AND_BOUND_H_

@@ -1,0 +1,86 @@
+#include "ilp/model.h"
+
+#include <map>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace cextend {
+namespace ilp {
+
+const char* SenseToString(Sense s) {
+  switch (s) {
+    case Sense::kLe:
+      return "<=";
+    case Sense::kEq:
+      return "=";
+    case Sense::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+int Model::AddVariable(double objective, bool is_integer, double upper,
+                       std::string name) {
+  CEXTEND_CHECK(upper >= 0.0) << "variable upper bound below lower bound 0";
+  variables_.push_back(Variable{objective, upper, is_integer, std::move(name)});
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+void Model::AddConstraint(LinearConstraint constraint) {
+  // Merge duplicate variables, drop zero coefficients.
+  std::map<int, double> merged;
+  for (const LinearTerm& t : constraint.terms) {
+    CEXTEND_CHECK(t.var >= 0 &&
+                  t.var < static_cast<int>(variables_.size()))
+        << "constraint references unknown variable " << t.var;
+    merged[t.var] += t.coeff;
+  }
+  constraint.terms.clear();
+  for (const auto& [var, coeff] : merged) {
+    if (coeff != 0.0) constraint.terms.push_back({var, coeff});
+  }
+  constraints_.push_back(std::move(constraint));
+}
+
+void Model::AddConstraint(std::vector<LinearTerm> terms, Sense sense,
+                          double rhs, std::string name) {
+  AddConstraint(LinearConstraint{std::move(terms), sense, rhs, std::move(name)});
+}
+
+bool Model::HasIntegerVariables() const {
+  for (const Variable& v : variables_) {
+    if (v.is_integer) return true;
+  }
+  return false;
+}
+
+std::string Model::ToString() const {
+  std::ostringstream os;
+  os << "min ";
+  bool first = true;
+  for (size_t i = 0; i < variables_.size(); ++i) {
+    if (variables_[i].objective == 0.0) continue;
+    if (!first) os << " + ";
+    os << variables_[i].objective << "*x" << i;
+    first = false;
+  }
+  if (first) os << "0";
+  os << "\ns.t.\n";
+  for (const LinearConstraint& c : constraints_) {
+    os << "  ";
+    for (size_t i = 0; i < c.terms.size(); ++i) {
+      if (i > 0) os << " + ";
+      os << c.terms[i].coeff << "*x" << c.terms[i].var;
+    }
+    os << " " << SenseToString(c.sense) << " " << c.rhs;
+    if (!c.name.empty()) os << "   [" << c.name << "]";
+    os << "\n";
+  }
+  os << variables_.size() << " vars, " << constraints_.size()
+     << " constraints\n";
+  return os.str();
+}
+
+}  // namespace ilp
+}  // namespace cextend

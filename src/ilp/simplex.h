@@ -1,0 +1,55 @@
+// Dense two-phase primal simplex for LP relaxations.
+//
+// Solves  min c^T x  s.t.  A x {<=,=,>=} b,  0 <= x (<= u via extra rows).
+// Phase 1 minimizes the sum of artificial variables to find a basic feasible
+// solution; phase 2 optimizes the real objective. Dantzig pricing with an
+// automatic switch to Bland's rule after a run of degenerate pivots
+// guarantees termination.
+
+#ifndef CEXTEND_ILP_SIMPLEX_H_
+#define CEXTEND_ILP_SIMPLEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ilp/model.h"
+
+namespace cextend {
+namespace ilp {
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+const char* LpStatusToString(LpStatus s);
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;      ///< primal values, one per model variable
+  int64_t iterations = 0;
+};
+
+struct SimplexOptions {
+  int64_t max_iterations = 200000;
+  double eps = 1e-9;
+  /// Consecutive degenerate pivots before switching to Bland's rule.
+  int degenerate_switch = 64;
+};
+
+/// Solves the LP relaxation of `model` (integrality ignored). Additional
+/// variable bounds can be supplied to support branch & bound: `extra_lower`
+/// and `extra_upper` (empty = none; otherwise one entry per variable, with
+/// kInfinity/-kInfinity meaning unbounded).
+LpResult SolveLp(const Model& model, const SimplexOptions& options = {},
+                 const std::vector<double>& extra_lower = {},
+                 const std::vector<double>& extra_upper = {});
+
+}  // namespace ilp
+}  // namespace cextend
+
+#endif  // CEXTEND_ILP_SIMPLEX_H_

@@ -1,0 +1,33 @@
+#include "ilp/solver.h"
+
+namespace cextend {
+namespace ilp {
+
+IlpResult Solve(const Model& model, const IlpOptions& options) {
+  if (!model.HasIntegerVariables()) {
+    LpResult lp = SolveLp(model, options.simplex);
+    IlpResult out;
+    out.lp_iterations = lp.iterations;
+    out.values = lp.values;
+    out.objective = lp.objective;
+    switch (lp.status) {
+      case LpStatus::kOptimal:
+        out.status = IlpStatus::kOptimal;
+        break;
+      case LpStatus::kInfeasible:
+        out.status = IlpStatus::kInfeasible;
+        break;
+      case LpStatus::kUnbounded:
+        out.status = IlpStatus::kUnbounded;
+        break;
+      case LpStatus::kIterationLimit:
+        out.status = IlpStatus::kNoSolution;
+        break;
+    }
+    return out;
+  }
+  return SolveIlp(model, options);
+}
+
+}  // namespace ilp
+}  // namespace cextend

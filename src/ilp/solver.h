@@ -1,0 +1,20 @@
+// Facade over the LP/ILP machinery: dispatches pure-LP models to the simplex
+// and mixed-integer models to branch & bound.
+
+#ifndef CEXTEND_ILP_SOLVER_H_
+#define CEXTEND_ILP_SOLVER_H_
+
+#include "ilp/branch_and_bound.h"
+#include "ilp/model.h"
+#include "ilp/simplex.h"
+
+namespace cextend {
+namespace ilp {
+
+/// Solves `model`, choosing the pure-LP path when no variable is integer.
+IlpResult Solve(const Model& model, const IlpOptions& options = {});
+
+}  // namespace ilp
+}  // namespace cextend
+
+#endif  // CEXTEND_ILP_SOLVER_H_

@@ -1,0 +1,28 @@
+// CSV import/export for tables (RFC-4180-style quoting, header row required).
+
+#ifndef CEXTEND_RELATIONAL_CSV_H_
+#define CEXTEND_RELATIONAL_CSV_H_
+
+#include <string>
+
+#include "relational/table.h"
+#include "util/statusor.h"
+
+namespace cextend {
+
+/// Reads `path` into a table with the given schema. The CSV header must match
+/// the schema column names (in order). Empty fields become NULL.
+StatusOr<Table> ReadCsv(const std::string& path, const Schema& schema);
+
+/// Parses CSV text (same contract as ReadCsv) — useful for tests.
+StatusOr<Table> ParseCsv(const std::string& text, const Schema& schema);
+
+/// Writes `table` to `path` with a header row. NULL cells are written empty.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Serializes `table` to CSV text.
+std::string ToCsv(const Table& table);
+
+}  // namespace cextend
+
+#endif  // CEXTEND_RELATIONAL_CSV_H_

@@ -1,0 +1,37 @@
+#include "relational/schema.h"
+
+#include "util/logging.h"
+
+namespace cextend {
+
+Schema::Schema(std::vector<ColumnSpec> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    auto [it, inserted] = index_.emplace(columns_[i].name, i);
+    CEXTEND_CHECK(inserted) << "duplicate column name " << columns_[i].name;
+  }
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t Schema::IndexOrDie(const std::string& name) const {
+  auto idx = IndexOf(name);
+  CEXTEND_CHECK(idx.has_value()) << "no column named " << name;
+  return *idx;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += DataTypeToString(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace cextend

@@ -1,0 +1,62 @@
+// Table schemas: ordered, named, typed columns.
+
+#ifndef CEXTEND_RELATIONAL_SCHEMA_H_
+#define CEXTEND_RELATIONAL_SCHEMA_H_
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace cextend {
+
+/// One column: a name and a data type.
+struct ColumnSpec {
+  std::string name;
+  DataType type = DataType::kInt64;
+
+  friend bool operator==(const ColumnSpec& a, const ColumnSpec& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+/// An ordered list of uniquely-named columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSpec> columns);
+  Schema(std::initializer_list<ColumnSpec> columns)
+      : Schema(std::vector<ColumnSpec>(columns)) {}
+
+  size_t NumColumns() const { return columns_.size(); }
+  const ColumnSpec& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, if any.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// Index of `name`; aborts if absent (for callers that know the schema).
+  size_t IndexOrDie(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return IndexOf(name).has_value();
+  }
+
+  /// "name:TYPE, name:TYPE, ..."
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.columns_ == b.columns_;
+  }
+
+ private:
+  std::vector<ColumnSpec> columns_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace cextend
+
+#endif  // CEXTEND_RELATIONAL_SCHEMA_H_

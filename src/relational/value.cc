@@ -1,0 +1,23 @@
+#include "relational/value.h"
+
+#include <string>
+
+namespace cextend {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(AsInt());
+  return AsString();
+}
+
+}  // namespace cextend

@@ -1,0 +1,72 @@
+// Cell values at the API boundary of the relational engine.
+//
+// Internally tables store every cell as an `int64_t` *code* (dictionary code
+// for string columns, the number itself for integer columns, and a reserved
+// sentinel for NULL). `Value` is the typed, user-facing representation used
+// when building tables, writing predicates, and printing.
+
+#ifndef CEXTEND_RELATIONAL_VALUE_H_
+#define CEXTEND_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace cextend {
+
+/// Column data types supported by the engine. The paper's datasets only need
+/// integers (ages, flags, keys) and categorical strings (relationship, area).
+enum class DataType {
+  kInt64,
+  kString,
+};
+
+const char* DataTypeToString(DataType type);
+
+/// Reserved code meaning NULL in the columnar representation.
+inline constexpr int64_t kNullCode = std::numeric_limits<int64_t>::min();
+
+/// A typed cell value: NULL, a 64-bit integer, or a string.
+class Value {
+ public:
+  /// NULL value.
+  Value() : rep_(NullRep{}) {}
+  Value(int64_t v) : rep_(v) {}            // NOLINT(google-explicit-constructor)
+  Value(int v) : rep_(int64_t{v}) {}       // NOLINT(google-explicit-constructor)
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<NullRep>(rep_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+
+  /// Requires is_int().
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  /// Requires is_string().
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Renders the value for display ("NULL", "42", "Chicago").
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+
+ private:
+  struct NullRep {
+    friend bool operator==(const NullRep&, const NullRep&) { return true; }
+  };
+  std::variant<NullRep, int64_t, std::string> rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace cextend
+
+#endif  // CEXTEND_RELATIONAL_VALUE_H_

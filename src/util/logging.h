@@ -1,0 +1,80 @@
+// Lightweight CHECK/LOG facilities (subset of glog-style macros).
+//
+// CEXTEND_CHECK(cond) aborts with a message when `cond` is false; the macro
+// result supports streaming extra context:  CEXTEND_CHECK(x > 0) << "x=" << x;
+
+#ifndef CEXTEND_UTIL_LOGGING_H_
+#define CEXTEND_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cextend {
+namespace internal_logging {
+
+/// Accumulates a failure message and aborts in the destructor.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failure at " << file << ":" << line << ": "
+            << condition;
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << " " << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Sink that swallows the streamed operands of a passing check.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace cextend
+
+#define CEXTEND_CHECK(cond)                                              \
+  (cond) ? (void)0                                                       \
+         : (void)(::cextend::internal_logging::CheckFailureStream(       \
+               "CHECK", __FILE__, __LINE__, #cond))
+
+#define CEXTEND_CHECK_STREAMABLE(cond)                                   \
+  switch (0)                                                             \
+  case 0:                                                                \
+  default:                                                               \
+    (cond) ? (void)0 : (void)::cextend::internal_logging::CheckFailureStream( \
+                           "CHECK", __FILE__, __LINE__, #cond)
+
+// The streaming form is the default; keep the name short.
+#undef CEXTEND_CHECK
+#define CEXTEND_CHECK(cond)                                                  \
+  if (cond) {                                                                \
+  } else /* NOLINT */                                                        \
+    ::cextend::internal_logging::CheckFailureStream("CHECK", __FILE__,       \
+                                                    __LINE__, #cond)
+
+#ifndef NDEBUG
+#define CEXTEND_DCHECK(cond) CEXTEND_CHECK(cond)
+#else
+#define CEXTEND_DCHECK(cond) \
+  if (true) {                \
+  } else /* NOLINT */        \
+    ::cextend::internal_logging::NullStream()
+#endif
+
+#endif  // CEXTEND_UTIL_LOGGING_H_

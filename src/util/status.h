@@ -1,0 +1,110 @@
+// Minimal absl-style Status type used for error handling across the library.
+//
+// The library does not use C++ exceptions (per the Google style guide). Every
+// fallible operation returns a `Status` or a `StatusOr<T>` (see statusor.h).
+
+#ifndef CEXTEND_UTIL_STATUS_H_
+#define CEXTEND_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace cextend {
+
+/// Canonical error codes, modeled after absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kResourceExhausted = 8,
+  kInfeasible = 9,  ///< domain-specific: constraint system has no solution
+};
+
+/// Returns a human-readable name for `code` (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error result. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace cextend
+
+/// Propagates a non-OK Status to the caller.
+#define CEXTEND_RETURN_IF_ERROR(expr)             \
+  do {                                            \
+    ::cextend::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#define CEXTEND_STATUS_CONCAT_INNER_(x, y) x##y
+#define CEXTEND_STATUS_CONCAT_(x, y) CEXTEND_STATUS_CONCAT_INNER_(x, y)
+
+/// Evaluates `rexpr` (a StatusOr<T>); on error returns the Status, otherwise
+/// moves the value into `lhs`.
+#define CEXTEND_ASSIGN_OR_RETURN(lhs, rexpr)                                \
+  auto CEXTEND_STATUS_CONCAT_(_statusor_, __LINE__) = (rexpr);              \
+  if (!CEXTEND_STATUS_CONCAT_(_statusor_, __LINE__).ok())                   \
+    return CEXTEND_STATUS_CONCAT_(_statusor_, __LINE__).status();           \
+  lhs = std::move(CEXTEND_STATUS_CONCAT_(_statusor_, __LINE__)).value()
+
+#endif  // CEXTEND_UTIL_STATUS_H_

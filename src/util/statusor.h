@@ -1,0 +1,58 @@
+// StatusOr<T>: a value or an error Status, modeled after absl::StatusOr.
+
+#ifndef CEXTEND_UTIL_STATUSOR_H_
+#define CEXTEND_UTIL_STATUSOR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace cextend {
+
+/// Holds either a `T` or a non-OK `Status`. Accessing `value()` on an error
+/// result aborts the program (there are no exceptions in this library), so
+/// callers must check `ok()` first or use CEXTEND_ASSIGN_OR_RETURN.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit conversion from Status is intentional so `return SomeError();`
+  /// works in functions returning StatusOr<T>.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    CEXTEND_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::Ok()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CEXTEND_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CEXTEND_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CEXTEND_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace cextend
+
+#endif  // CEXTEND_UTIL_STATUSOR_H_

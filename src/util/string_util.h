@@ -1,0 +1,39 @@
+// String helpers: split/join/trim/format/number parsing.
+
+#ifndef CEXTEND_UTIL_STRING_UTIL_H_
+#define CEXTEND_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cextend {
+
+/// Splits `s` on `delim`. Keeps empty fields ("a,,b" -> ["a", "", "b"]).
+std::vector<std::string> StrSplit(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Parses a base-10 signed integer; rejects trailing garbage.
+std::optional<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a double; rejects trailing garbage.
+std::optional<double> ParseDouble(std::string_view s);
+
+/// "1.5s", "230ms", "2.1m", "1.2h" — compact human-readable duration.
+std::string FormatDuration(double seconds);
+
+}  // namespace cextend
+
+#endif  // CEXTEND_UTIL_STRING_UTIL_H_

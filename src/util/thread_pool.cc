@@ -1,0 +1,85 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+#include "util/logging.h"
+
+namespace cextend {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  CEXTEND_CHECK(num_threads > 0);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    CEXTEND_CHECK(!shutdown_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || pool->num_threads() == 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Chunked dynamic scheduling via a shared counter.
+  auto counter = std::make_shared<std::atomic<size_t>>(0);
+  size_t num_tasks = pool->num_threads();
+  for (size_t t = 0; t < num_tasks; ++t) {
+    pool->Submit([counter, n, &fn] {
+      for (;;) {
+        size_t i = counter->fetch_add(1);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  pool->WaitAll();
+}
+
+}  // namespace cextend

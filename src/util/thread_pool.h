@@ -1,0 +1,54 @@
+// Fixed-size thread pool used by the optional parallel coloring step
+// (paper Appendix A.3).
+
+#ifndef CEXTEND_UTIL_THREAD_POOL_H_
+#define CEXTEND_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cextend {
+
+/// Runs submitted tasks on `num_threads` workers. Destruction waits for all
+/// pending tasks to finish.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is drained and all workers are idle.
+  void WaitAll();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `fn(i)` for i in [0, n) across `pool` (or inline when pool is null),
+/// blocking until all iterations complete.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace cextend
+
+#endif  // CEXTEND_UTIL_THREAD_POOL_H_

@@ -1,0 +1,71 @@
+#include "core/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/metrics.h"
+#include "test_util.h"
+
+namespace cextend {
+namespace {
+
+using testing_fixtures::MakePaperExample;
+using testing_fixtures::PaperExample;
+
+TEST(BaselineTest, PlainBaselineCompletesEverything) {
+  PaperExample ex = MakePaperExample();
+  auto solution = SolveBaseline(ex.persons, ex.housing, ex.names, ex.ccs,
+                                ex.dcs, BaselineKind::kPlain, {});
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  size_t hid_col = solution->r1_hat.schema().IndexOrDie("hid");
+  for (size_t r = 0; r < solution->r1_hat.NumRows(); ++r) {
+    EXPECT_FALSE(solution->r1_hat.IsNull(r, hid_col));
+  }
+  // The baseline never adds R2 tuples (random keys come from candidates).
+  EXPECT_EQ(solution->r2_hat.NumRows(), ex.housing.NumRows());
+}
+
+TEST(BaselineTest, WithMarginalsSatisfiesCcs) {
+  // The paper's finding: baseline-with-marginals has zero CC error.
+  PaperExample ex = MakePaperExample();
+  auto solution = SolveBaseline(ex.persons, ex.housing, ex.names, ex.ccs,
+                                ex.dcs, BaselineKind::kWithMarginals, {});
+  ASSERT_TRUE(solution.ok());
+  auto cc_report = EvaluateCcError(ex.ccs, solution->v_join);
+  ASSERT_TRUE(cc_report.ok());
+  EXPECT_EQ(cc_report->num_exact, ex.ccs.size()) << cc_report->Summary();
+}
+
+TEST(BaselineTest, BaselinesIgnoreDcsOnCrowdedInput) {
+  // Many owners forced into few homes: random assignment violates DCs with
+  // overwhelming probability, while the real solver never does.
+  PaperExample ex = MakePaperExample();
+  Table two_homes = ex.housing.CloneEmpty();
+  CEXTEND_CHECK(two_homes.AppendRow({Value(1), Value("Chicago")}).ok());
+  CEXTEND_CHECK(two_homes.AppendRow({Value(5), Value("NYC")}).ok());
+  SolverOptions options;
+  options.seed = 99;
+  auto baseline = SolveBaseline(ex.persons, two_homes, ex.names, {}, ex.dcs,
+                                BaselineKind::kPlain, options);
+  ASSERT_TRUE(baseline.ok());
+  auto dc_report = EvaluateDcError(ex.dcs, baseline->r1_hat, "hid");
+  ASSERT_TRUE(dc_report.ok());
+  EXPECT_GT(dc_report->error, 0.0);
+}
+
+TEST(BaselineTest, DeterministicGivenSeed) {
+  PaperExample ex = MakePaperExample();
+  SolverOptions options;
+  options.seed = 77;
+  auto a = SolveBaseline(ex.persons, ex.housing, ex.names, ex.ccs, ex.dcs,
+                         BaselineKind::kPlain, options);
+  auto b = SolveBaseline(ex.persons, ex.housing, ex.names, ex.ccs, ex.dcs,
+                         BaselineKind::kPlain, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  size_t hid_col = a->r1_hat.schema().IndexOrDie("hid");
+  for (size_t r = 0; r < a->r1_hat.NumRows(); ++r) {
+    EXPECT_EQ(a->r1_hat.GetCode(r, hid_col), b->r1_hat.GetCode(r, hid_col));
+  }
+}
+
+}  // namespace
+}  // namespace cextend

@@ -1,0 +1,133 @@
+#include "core/binning.h"
+
+#include <gtest/gtest.h>
+
+#include "core/join_view.h"
+#include "core/marginals.h"
+#include "test_util.h"
+
+namespace cextend {
+namespace {
+
+using testing_fixtures::MakePaperExample;
+using testing_fixtures::PaperExample;
+
+TEST(BinningTest, PaperExample41Intervalization) {
+  // CC3 (Age <= 24) splits Age into [.., 24] and [25, ..] (Example 4.1).
+  PaperExample ex = MakePaperExample();
+  auto v = MakeJoinView(ex.persons, ex.housing, ex.names);
+  ASSERT_TRUE(v.ok());
+  auto binning = Binning::Create(v.value(), ex.names.r1_attrs, ex.ccs);
+  ASSERT_TRUE(binning.ok()) << binning.status();
+  ASSERT_TRUE(binning->cuts().contains("Age"));
+  EXPECT_EQ(binning->cuts().at("Age"), (std::vector<int64_t>{25}));
+  // Example 4.1 lists exactly 4 realized tuple types:
+  //   (25+, Owner, 0), (<=24, Spouse, 0), (<=24, Child, 1), (25+, Owner, 1).
+  EXPECT_EQ(binning->num_bins(), 4u);
+  // Row partition sizes: {1,3,8}=3 owners ml=0; {2,4,9}=3 owners ml=1;
+  // {5}=1 spouse; {6,7}=2 children.
+  std::vector<size_t> sizes;
+  for (size_t b = 0; b < binning->num_bins(); ++b)
+    sizes.push_back(binning->count(b));
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<size_t>{1, 2, 3, 3}));
+}
+
+TEST(BinningTest, MatchingBinsExactForCcConditions) {
+  PaperExample ex = MakePaperExample();
+  auto v = MakeJoinView(ex.persons, ex.housing, ex.names);
+  ASSERT_TRUE(v.ok());
+  auto binning = Binning::Create(v.value(), ex.names.r1_attrs, ex.ccs);
+  ASSERT_TRUE(binning.ok());
+  // CC3's R1 condition Age <= 24 matches the spouse bin and the child bin.
+  auto bins = binning->MatchingBins(ex.ccs[2].r1_condition);
+  ASSERT_TRUE(bins.ok());
+  size_t rows = 0;
+  for (size_t b : *bins) rows += binning->count(b);
+  EXPECT_EQ(rows, 3u);  // pids 5, 6, 7
+  // Bin membership agrees with a per-row evaluation.
+  auto pred = BoundPredicate::Bind(ex.ccs[2].r1_condition, v.value());
+  ASSERT_TRUE(pred.ok());
+  for (size_t b = 0; b < binning->num_bins(); ++b) {
+    bool bin_match = binning->BinMatches(b, pred.value());
+    for (uint32_t r : binning->rows(b)) {
+      EXPECT_EQ(pred->Matches(v.value(), r), bin_match);
+    }
+  }
+}
+
+TEST(BinningTest, BinOfRowConsistent) {
+  PaperExample ex = MakePaperExample();
+  auto v = MakeJoinView(ex.persons, ex.housing, ex.names);
+  ASSERT_TRUE(v.ok());
+  auto binning = Binning::Create(v.value(), ex.names.r1_attrs, ex.ccs);
+  ASSERT_TRUE(binning.ok());
+  for (size_t b = 0; b < binning->num_bins(); ++b) {
+    for (uint32_t r : binning->rows(b)) {
+      EXPECT_EQ(binning->bin_of_row(r), b);
+    }
+  }
+  size_t total = 0;
+  for (size_t b = 0; b < binning->num_bins(); ++b) total += binning->count(b);
+  EXPECT_EQ(total, v->NumRows());
+}
+
+TEST(BinningTest, IrregularCcGetsMatchBit) {
+  // A != atom on an integer column is not interval-representable; binning
+  // must still keep CC selections unions of bins.
+  PaperExample ex = MakePaperExample();
+  auto v = MakeJoinView(ex.persons, ex.housing, ex.names);
+  ASSERT_TRUE(v.ok());
+  CardinalityConstraint odd;
+  odd.name = "odd";
+  odd.r1_condition.Ne("Age", Value(int64_t{25}));
+  odd.r2_condition.Eq("Area", Value("Chicago"));
+  std::vector<CardinalityConstraint> ccs = ex.ccs;
+  ccs.push_back(odd);
+  auto binning = Binning::Create(v.value(), ex.names.r1_attrs, ccs);
+  ASSERT_TRUE(binning.ok());
+  auto pred = BoundPredicate::Bind(odd.r1_condition, v.value());
+  ASSERT_TRUE(pred.ok());
+  for (size_t b = 0; b < binning->num_bins(); ++b) {
+    bool bin_match = binning->BinMatches(b, pred.value());
+    for (uint32_t r : binning->rows(b)) {
+      EXPECT_EQ(pred->Matches(v.value(), r), bin_match);
+    }
+  }
+}
+
+TEST(BinningTest, BinConditionReconstructs) {
+  PaperExample ex = MakePaperExample();
+  auto v = MakeJoinView(ex.persons, ex.housing, ex.names);
+  ASSERT_TRUE(v.ok());
+  auto binning = Binning::Create(v.value(), ex.names.r1_attrs, ex.ccs);
+  ASSERT_TRUE(binning.ok());
+  for (size_t b = 0; b < binning->num_bins(); ++b) {
+    auto cond = binning->BinCondition(b);
+    ASSERT_TRUE(cond.ok());
+    auto pred = BoundPredicate::Bind(cond.value(), v.value());
+    ASSERT_TRUE(pred.ok());
+    // The bin's own rows all match; rows of other bins do not.
+    EXPECT_EQ(pred->CountMatches(v.value()), binning->count(b));
+  }
+}
+
+TEST(MarginalsTest, AllWayMarginalsMatchBinCounts) {
+  PaperExample ex = MakePaperExample();
+  auto v = MakeJoinView(ex.persons, ex.housing, ex.names);
+  ASSERT_TRUE(v.ok());
+  auto binning = Binning::Create(v.value(), ex.names.r1_attrs, ex.ccs);
+  ASSERT_TRUE(binning.ok());
+  auto marginals = ComputeAllWayMarginals(binning.value());
+  ASSERT_TRUE(marginals.ok());
+  EXPECT_EQ(marginals->size(), binning->num_bins());
+  int64_t total = 0;
+  for (const CardinalityConstraint& m : *marginals) {
+    EXPECT_TRUE(m.r2_condition.IsTrue());
+    total += m.target;
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(v->NumRows()));
+}
+
+}  // namespace
+}  // namespace cextend

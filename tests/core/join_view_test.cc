@@ -1,0 +1,118 @@
+#include "core/join_view.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cextend {
+namespace {
+
+using testing_fixtures::MakePaperExample;
+using testing_fixtures::PaperExample;
+
+TEST(PairSchemaTest, InferFindsAttributes) {
+  PaperExample ex = MakePaperExample();
+  EXPECT_EQ(ex.names.key1, "pid");
+  EXPECT_EQ(ex.names.fk, "hid");
+  EXPECT_EQ(ex.names.key2, "hid");
+  EXPECT_EQ(ex.names.r1_attrs,
+            (std::vector<std::string>{"Age", "Rel", "MultiLing"}));
+  EXPECT_EQ(ex.names.r2_attrs, (std::vector<std::string>{"Area"}));
+}
+
+TEST(PairSchemaTest, ValidateRejectsBadNames) {
+  PaperExample ex = MakePaperExample();
+  PairSchema bad = ex.names;
+  bad.key1 = "nope";
+  EXPECT_FALSE(bad.Validate(ex.persons, ex.housing).ok());
+  bad = ex.names;
+  bad.r2_attrs.push_back("Age");  // would collide with R1
+  EXPECT_FALSE(bad.Validate(ex.persons, ex.housing).ok());
+  bad = ex.names;
+  bad.r1_attrs.push_back("hid");  // overlaps FK
+  EXPECT_FALSE(bad.Validate(ex.persons, ex.housing).ok());
+}
+
+TEST(JoinViewTest, MakeJoinViewCopiesR1AndNullsB) {
+  PaperExample ex = MakePaperExample();
+  auto v = MakeJoinView(ex.persons, ex.housing, ex.names);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->NumRows(), ex.persons.NumRows());
+  EXPECT_EQ(v->schema().ToString(),
+            "pid:INT64, Age:INT64, Rel:STRING, MultiLing:INT64, Area:STRING");
+  EXPECT_EQ(v->GetValue(0, v->schema().IndexOrDie("Age")), Value(75));
+  EXPECT_EQ(v->GetValue(0, v->schema().IndexOrDie("Rel")), Value("Owner"));
+  for (size_t r = 0; r < v->NumRows(); ++r) {
+    EXPECT_TRUE(v->IsNull(r, v->schema().IndexOrDie("Area")));
+  }
+  // The Area column shares R2's dictionary.
+  EXPECT_EQ(v->dictionary(v->schema().IndexOrDie("Area")),
+            ex.housing.dictionary(ex.housing.schema().IndexOrDie("Area")));
+}
+
+TEST(JoinViewTest, MaterializeJoinFillsB) {
+  PaperExample ex = MakePaperExample();
+  Table persons = ex.persons.Clone();
+  size_t hid_col = persons.schema().IndexOrDie("hid");
+  const int64_t hids[] = {2, 1, 3, 4, 3, 4, 4, 5, 6};
+  for (size_t r = 0; r < persons.NumRows(); ++r)
+    persons.SetCode(r, hid_col, hids[r]);
+  auto v = MaterializeJoin(persons, ex.housing, ex.names);
+  ASSERT_TRUE(v.ok()) << v.status();
+  size_t area = v->schema().IndexOrDie("Area");
+  EXPECT_EQ(v->GetValue(0, area), Value("Chicago"));  // hid 2
+  EXPECT_EQ(v->GetValue(7, area), Value("NYC"));      // hid 5
+}
+
+TEST(JoinViewTest, MaterializeJoinRejectsNullAndDanglingFk) {
+  PaperExample ex = MakePaperExample();
+  EXPECT_FALSE(MaterializeJoin(ex.persons, ex.housing, ex.names).ok());
+  Table persons = ex.persons.Clone();
+  size_t hid_col = persons.schema().IndexOrDie("hid");
+  for (size_t r = 0; r < persons.NumRows(); ++r)
+    persons.SetCode(r, hid_col, 99);  // dangling
+  EXPECT_FALSE(MaterializeJoin(persons, ex.housing, ex.names).ok());
+}
+
+TEST(ComboIndexTest, BuildsDistinctCombos) {
+  PaperExample ex = MakePaperExample();
+  auto combos = ComboIndex::Build(ex.housing, ex.names);
+  ASSERT_TRUE(combos.ok());
+  EXPECT_EQ(combos->num_combos(), 2u);  // Chicago, NYC
+  // Keys 1-4 carry Chicago; 5-6 carry NYC (in some combo order).
+  size_t chicago = combos->keys(0).size() == 4 ? 0 : 1;
+  EXPECT_EQ(combos->keys(chicago), (std::vector<int64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(combos->keys(1 - chicago), (std::vector<int64_t>{5, 6}));
+}
+
+TEST(ComboIndexTest, MatchingCombos) {
+  PaperExample ex = MakePaperExample();
+  auto combos = ComboIndex::Build(ex.housing, ex.names);
+  ASSERT_TRUE(combos.ok());
+  Predicate chicago;
+  chicago.Eq("Area", Value("Chicago"));
+  auto match = combos->MatchingCombos(chicago);
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->size(), 1u);
+  auto all = combos->MatchingCombos(Predicate::True());
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 2u);
+  Predicate none;
+  none.Eq("Area", Value("LA"));
+  auto empty = combos->MatchingCombos(none);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(ComboIndexTest, FindExactCombo) {
+  PaperExample ex = MakePaperExample();
+  auto combos = ComboIndex::Build(ex.housing, ex.names);
+  ASSERT_TRUE(combos.ok());
+  for (size_t i = 0; i < combos->num_combos(); ++i) {
+    EXPECT_EQ(combos->Find(combos->combo_codes(i)).value(), i);
+  }
+  EXPECT_FALSE(combos->Find({int64_t{12345}}).has_value());
+}
+
+}  // namespace
+}  // namespace cextend

@@ -1,0 +1,143 @@
+#include "core/snowflake.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/metrics.h"
+
+namespace cextend {
+namespace {
+
+/// Example 5.6: Students -> Majors -> Departments, Students -> Courses.
+SnowflakeProblem MakeUniversity() {
+  SnowflakeProblem problem;
+  problem.fact = "Students";
+
+  Schema students_schema{{"sid", DataType::kInt64},
+                         {"Gpa", DataType::kInt64}};
+  Table students{students_schema};
+  for (int i = 1; i <= 12; ++i) {
+    CEXTEND_CHECK(
+        students.AppendRow({Value(i), Value(int64_t{2 + i % 3})}).ok());
+  }
+  problem.relations.push_back({"Students", std::move(students), "sid"});
+
+  Schema majors_schema{{"mid", DataType::kInt64},
+                       {"Field", DataType::kString}};
+  Table majors{majors_schema};
+  CEXTEND_CHECK(majors.AppendRow({Value(1), Value("CS")}).ok());
+  CEXTEND_CHECK(majors.AppendRow({Value(2), Value("CS")}).ok());
+  CEXTEND_CHECK(majors.AppendRow({Value(3), Value("Math")}).ok());
+  problem.relations.push_back({"Majors", std::move(majors), "mid"});
+
+  Schema courses_schema{{"cid", DataType::kInt64},
+                        {"Level", DataType::kString}};
+  Table courses{courses_schema};
+  CEXTEND_CHECK(courses.AppendRow({Value(1), Value("Intro")}).ok());
+  CEXTEND_CHECK(courses.AppendRow({Value(2), Value("Advanced")}).ok());
+  problem.relations.push_back({"Courses", std::move(courses), "cid"});
+
+  Schema depts_schema{{"did", DataType::kInt64}, {"Bldg", DataType::kString}};
+  Table depts{depts_schema};
+  CEXTEND_CHECK(depts.AppendRow({Value(1), Value("North")}).ok());
+  CEXTEND_CHECK(depts.AppendRow({Value(2), Value("South")}).ok());
+  problem.relations.push_back({"Departments", std::move(depts), "did"});
+
+  // Link 1: Students.major_id -> Majors, 7 CS students.
+  {
+    SnowflakeLink link;
+    link.source = "Students";
+    link.fk_column = "major_id";
+    link.target = "Majors";
+    CardinalityConstraint cc;
+    cc.name = "cs_students";
+    cc.r2_condition.Eq("Field", Value("CS"));
+    cc.target = 7;
+    link.ccs.push_back(cc);
+    problem.links.push_back(std::move(link));
+  }
+  // Link 2: Students.course_id -> Courses; CC spans the accumulated join
+  // (paper step 2: CCs over Students ⋈ Majors ⋈ Courses).
+  {
+    SnowflakeLink link;
+    link.source = "Students";
+    link.fk_column = "course_id";
+    link.target = "Courses";
+    CardinalityConstraint cc;
+    cc.name = "cs_students_in_advanced";
+    cc.r1_condition.Eq("Field", Value("CS"));  // column joined in step 1
+    cc.r2_condition.Eq("Level", Value("Advanced"));
+    cc.target = 4;
+    link.ccs.push_back(cc);
+    problem.links.push_back(std::move(link));
+  }
+  // Link 3: Majors.dept_id -> Departments, with a DC forbidding two CS
+  // majors in one department.
+  {
+    SnowflakeLink link;
+    link.source = "Majors";
+    link.fk_column = "dept_id";
+    link.target = "Departments";
+    DenialConstraint dc(2, "one_cs_major_per_dept");
+    dc.Unary(0, "Field", CompareOp::kEq, Value("CS"));
+    dc.Unary(1, "Field", CompareOp::kEq, Value("CS"));
+    link.dcs.push_back(std::move(dc));
+    problem.links.push_back(std::move(link));
+  }
+  return problem;
+}
+
+TEST(SnowflakeTest, Example56EndToEnd) {
+  SnowflakeProblem problem = MakeUniversity();
+  auto result = SolveSnowflake(problem, {});
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->link_stats.size(), 3u);
+
+  const Table& students = result->tables.at("Students");
+  ASSERT_TRUE(students.schema().Contains("major_id"));
+  ASSERT_TRUE(students.schema().Contains("course_id"));
+  // CC of link 1: exactly 7 students in CS majors (mids 1, 2).
+  size_t major_col = students.schema().IndexOrDie("major_id");
+  size_t cs = 0;
+  for (size_t r = 0; r < students.NumRows(); ++r) {
+    int64_t mid = students.GetCode(r, major_col);
+    EXPECT_NE(mid, kNullCode);
+    if (mid == 1 || mid == 2) ++cs;
+  }
+  EXPECT_EQ(cs, 7u);
+
+  // Link 3's DC: the two CS majors ended up in different departments.
+  const Table& majors = result->tables.at("Majors");
+  ASSERT_TRUE(majors.schema().Contains("dept_id"));
+  auto dc_report = EvaluateDcError(problem.links[2].dcs, majors, "dept_id");
+  ASSERT_TRUE(dc_report.ok());
+  EXPECT_EQ(dc_report->error, 0.0) << dc_report->Summary();
+}
+
+TEST(SnowflakeTest, CrossLinkCcUsesAccumulatedColumns) {
+  SnowflakeProblem problem = MakeUniversity();
+  auto result = SolveSnowflake(problem, {});
+  ASSERT_TRUE(result.ok());
+  // Verify link 2's CC on the final tables: CS-major students in Advanced.
+  const Table& students = result->tables.at("Students");
+  size_t major_col = students.schema().IndexOrDie("major_id");
+  size_t course_col = students.schema().IndexOrDie("course_id");
+  size_t count = 0;
+  for (size_t r = 0; r < students.NumRows(); ++r) {
+    int64_t mid = students.GetCode(r, major_col);
+    int64_t cid = students.GetCode(r, course_col);
+    if ((mid == 1 || mid == 2) && cid == 2) ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(SnowflakeTest, RejectsUnknownRelations) {
+  SnowflakeProblem problem = MakeUniversity();
+  problem.links[0].target = "Nowhere";
+  EXPECT_FALSE(SolveSnowflake(problem, {}).ok());
+  problem = MakeUniversity();
+  problem.fact = "Nowhere";
+  EXPECT_FALSE(SolveSnowflake(problem, {}).ok());
+}
+
+}  // namespace
+}  // namespace cextend

@@ -1,0 +1,151 @@
+#include "datagen/census.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/metrics.h"
+#include "datagen/constraint_gen.h"
+
+namespace cextend {
+namespace datagen {
+namespace {
+
+CensusOptions SmallOptions(uint64_t seed = 42) {
+  CensusOptions options;
+  options.num_persons = 1200;
+  options.num_households = 470;
+  options.seed = seed;
+  return options;
+}
+
+TEST(CensusTest, ExactRowCounts) {
+  auto data = GenerateCensus(SmallOptions());
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(data->persons.NumRows(), 1200u);
+  EXPECT_EQ(data->housing.NumRows(), 470u);
+  EXPECT_EQ(data->persons_truth.NumRows(), 1200u);
+}
+
+TEST(CensusTest, PaperScaleTable1) {
+  CensusOptions one_x = ScaledCensusOptions(1.0);
+  EXPECT_EQ(one_x.num_persons, 25099u);
+  EXPECT_EQ(one_x.num_households, 9820u);
+  CensusOptions forty_x = ScaledCensusOptions(40.0);
+  EXPECT_EQ(forty_x.num_persons, 1003960u);
+  CensusOptions tenth = ScaledCensusOptions(2.0, 2510, 982);
+  EXPECT_EQ(tenth.num_persons, 5020u);
+  EXPECT_EQ(tenth.num_households, 1964u);
+}
+
+TEST(CensusTest, InputPersonsHaveNullHid) {
+  auto data = GenerateCensus(SmallOptions());
+  ASSERT_TRUE(data.ok());
+  size_t hid_col = data->persons.schema().IndexOrDie("hid");
+  for (size_t r = 0; r < data->persons.NumRows(); ++r) {
+    EXPECT_TRUE(data->persons.IsNull(r, hid_col));
+  }
+}
+
+TEST(CensusTest, GroundTruthJoinsCleanly) {
+  auto data = GenerateCensus(SmallOptions());
+  ASSERT_TRUE(data.ok());
+  auto join = MaterializeJoin(data->persons_truth, data->housing, data->names);
+  EXPECT_TRUE(join.ok()) << join.status();
+}
+
+TEST(CensusTest, GroundTruthSatisfiesAllTwelveDcs) {
+  auto data = GenerateCensus(SmallOptions());
+  ASSERT_TRUE(data.ok());
+  std::vector<DenialConstraint> dcs = MakeCensusDcs(/*good_only=*/false);
+  auto report = EvaluateDcError(dcs, data->persons_truth, "hid");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->error, 0.0) << report->Summary();
+}
+
+TEST(CensusTest, EveryHouseholdHasExactlyOneOwner) {
+  auto data = GenerateCensus(SmallOptions());
+  ASSERT_TRUE(data.ok());
+  size_t hid_col = data->persons_truth.schema().IndexOrDie("hid");
+  size_t rel_col = data->persons_truth.schema().IndexOrDie("Rel");
+  auto owner_code = data->persons_truth.FindCode(rel_col, Value(kOwner));
+  ASSERT_TRUE(owner_code.has_value());
+  std::map<int64_t, int> owners;
+  for (size_t r = 0; r < data->persons_truth.NumRows(); ++r) {
+    if (data->persons_truth.GetCode(r, rel_col) == *owner_code) {
+      owners[data->persons_truth.GetCode(r, hid_col)]++;
+    }
+  }
+  EXPECT_EQ(owners.size(), data->housing.NumRows());
+  for (const auto& [hid, count] : owners) EXPECT_EQ(count, 1);
+}
+
+TEST(CensusTest, AgesWithinDomain) {
+  auto data = GenerateCensus(SmallOptions());
+  ASSERT_TRUE(data.ok());
+  size_t age_col = data->persons.schema().IndexOrDie("Age");
+  for (size_t r = 0; r < data->persons.NumRows(); ++r) {
+    int64_t age = data->persons.GetCode(r, age_col);
+    EXPECT_GE(age, 0);
+    EXPECT_LE(age, 114);
+  }
+}
+
+TEST(CensusTest, DeterministicGivenSeed) {
+  auto a = GenerateCensus(SmallOptions(7));
+  auto b = GenerateCensus(SmallOptions(7));
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t r = 0; r < a->persons_truth.NumRows(); ++r) {
+    for (size_t c = 0; c < a->persons_truth.NumColumns(); ++c) {
+      EXPECT_EQ(a->persons_truth.GetValue(r, c), b->persons_truth.GetValue(r, c));
+    }
+  }
+  auto c = GenerateCensus(SmallOptions(8));
+  ASSERT_TRUE(c.ok());
+  bool any_diff = false;
+  for (size_t r = 0; r < a->persons_truth.NumRows() && !any_diff; ++r) {
+    any_diff = !(a->persons_truth.GetValue(r, 1) == c->persons_truth.GetValue(r, 1));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CensusTest, R2ColumnSweep) {
+  for (size_t cols : {2u, 4u, 6u, 8u, 10u}) {
+    CensusOptions options = SmallOptions();
+    options.num_r2_columns = cols;
+    auto data = GenerateCensus(options);
+    ASSERT_TRUE(data.ok()) << cols;
+    EXPECT_EQ(data->housing.NumColumns(), cols + 1);  // + key
+    EXPECT_EQ(data->names.r2_attrs.size(), cols);
+  }
+  CensusOptions bad = SmallOptions();
+  bad.num_r2_columns = 5;
+  EXPECT_FALSE(GenerateCensus(bad).ok());
+}
+
+TEST(CensusTest, DivRegDeterminedBySt) {
+  CensusOptions options = SmallOptions();
+  options.num_r2_columns = 6;
+  auto data = GenerateCensus(options);
+  ASSERT_TRUE(data.ok());
+  size_t st = data->housing.schema().IndexOrDie("St");
+  size_t div = data->housing.schema().IndexOrDie("Div");
+  size_t reg = data->housing.schema().IndexOrDie("Reg");
+  std::map<int64_t, std::pair<int64_t, int64_t>> mapping;
+  for (size_t r = 0; r < data->housing.NumRows(); ++r) {
+    auto key = data->housing.GetCode(r, st);
+    auto val = std::make_pair(data->housing.GetCode(r, div),
+                              data->housing.GetCode(r, reg));
+    auto [it, inserted] = mapping.emplace(key, val);
+    EXPECT_EQ(it->second, val);  // St functionally determines Div and Reg
+  }
+}
+
+TEST(CensusTest, RejectsImpossibleSizes) {
+  CensusOptions options;
+  options.num_persons = 5;
+  options.num_households = 10;
+  EXPECT_FALSE(GenerateCensus(options).ok());
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace cextend

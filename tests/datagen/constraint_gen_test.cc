@@ -1,0 +1,134 @@
+#include "datagen/constraint_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/metrics.h"
+#include "constraints/relationship.h"
+#include "core/join_view.h"
+
+namespace cextend {
+namespace datagen {
+namespace {
+
+CensusData SmallData(uint64_t seed = 42) {
+  CensusOptions options;
+  options.num_persons = 2400;
+  options.num_households = 940;
+  options.seed = seed;
+  auto data = GenerateCensus(options);
+  CEXTEND_CHECK(data.ok());
+  return std::move(data).value();
+}
+
+TEST(DcGenTest, TwelveDcsWithExpectedStructure) {
+  std::vector<DenialConstraint> all = MakeCensusDcs(false);
+  std::vector<DenialConstraint> good = MakeCensusDcs(true);
+  // DC1-8 are range rules -> 16 conjunctive constraints; DC9-12 add 4 more.
+  EXPECT_EQ(good.size(), 16u);
+  EXPECT_EQ(all.size(), 20u);
+  for (const DenialConstraint& dc : all) EXPECT_EQ(dc.arity(), 2);
+  // The good set has no same-role DCs (no cliques): every DC pins t0 to
+  // Owner and t1 to a different relationship.
+  for (const DenialConstraint& dc : good) {
+    EXPECT_TRUE(dc.name().find("DC9") == std::string::npos &&
+                dc.name().find("DC12") == std::string::npos);
+  }
+}
+
+TEST(DcGenTest, GroundTruthViolatesNothing) {
+  CensusData data = SmallData();
+  auto report =
+      EvaluateDcError(MakeCensusDcs(false), data.persons_truth, "hid");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->error, 0.0) << report->Summary();
+}
+
+TEST(CcGenTest, GoodFamilyHasNoIntersectingPairs) {
+  CensusData data = SmallData();
+  CcFamilyOptions options;
+  options.num_ccs = 120;
+  options.intersecting = false;
+  auto ccs = GenerateCcs(data, options);
+  ASSERT_TRUE(ccs.ok()) << ccs.status();
+  EXPECT_GE(ccs->size(), 100u);
+  auto v = MakeJoinView(data.persons, data.housing, data.names);
+  ASSERT_TRUE(v.ok());
+  auto matrix = ClassifyAll(*ccs, v->schema(), data.housing.schema());
+  ASSERT_TRUE(matrix.ok());
+  for (size_t i = 0; i < ccs->size(); ++i) {
+    for (size_t j = i + 1; j < ccs->size(); ++j) {
+      EXPECT_NE(matrix->At(i, j), CcRelation::kIntersecting)
+          << (*ccs)[i].ToString() << " vs " << (*ccs)[j].ToString();
+    }
+  }
+}
+
+TEST(CcGenTest, BadFamilyHasIntersectingPairs) {
+  CensusData data = SmallData();
+  CcFamilyOptions options;
+  options.num_ccs = 120;
+  options.intersecting = true;
+  auto ccs = GenerateCcs(data, options);
+  ASSERT_TRUE(ccs.ok());
+  auto v = MakeJoinView(data.persons, data.housing, data.names);
+  ASSERT_TRUE(v.ok());
+  auto matrix = ClassifyAll(*ccs, v->schema(), data.housing.schema());
+  ASSERT_TRUE(matrix.ok());
+  size_t intersecting = 0;
+  for (size_t i = 0; i < ccs->size(); ++i) {
+    for (size_t j = i + 1; j < ccs->size(); ++j) {
+      if (matrix->At(i, j) == CcRelation::kIntersecting) ++intersecting;
+    }
+  }
+  EXPECT_GT(intersecting, 0u);
+}
+
+TEST(CcGenTest, TargetsMatchGroundTruth) {
+  CensusData data = SmallData();
+  CcFamilyOptions options;
+  options.num_ccs = 60;
+  auto ccs = GenerateCcs(data, options);
+  ASSERT_TRUE(ccs.ok());
+  auto truth = MaterializeJoin(data.persons_truth, data.housing, data.names);
+  ASSERT_TRUE(truth.ok());
+  auto report = EvaluateCcError(*ccs, truth.value());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->num_exact, ccs->size());
+}
+
+TEST(CcGenTest, ConditionsAreDistinct) {
+  CensusData data = SmallData();
+  CcFamilyOptions options;
+  options.num_ccs = 200;
+  auto ccs = GenerateCcs(data, options);
+  ASSERT_TRUE(ccs.ok());
+  std::set<std::string> signatures;
+  for (const CardinalityConstraint& cc : *ccs) {
+    signatures.insert(cc.r1_condition.ToString() + "|" +
+                      cc.r2_condition.ToString());
+  }
+  EXPECT_EQ(signatures.size(), ccs->size());
+}
+
+TEST(CcGenTest, AreaOnlyAndPairConditionsBothPresent) {
+  CensusData data = SmallData();
+  CcFamilyOptions options;
+  options.num_ccs = 300;
+  auto ccs = GenerateCcs(data, options);
+  ASSERT_TRUE(ccs.ok());
+  size_t pair_conds = 0, area_only = 0;
+  for (const CardinalityConstraint& cc : *ccs) {
+    bool has_tenure = false;
+    for (const Atom& atom : cc.r2_condition.atoms()) {
+      if (atom.column == "Tenure") has_tenure = true;
+    }
+    if (has_tenure) ++pair_conds;
+    else ++area_only;
+  }
+  EXPECT_GT(pair_conds, 0u);
+  EXPECT_GT(area_only, 0u);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace cextend

@@ -1,0 +1,122 @@
+#include "datagen/nae3sat.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/metrics.h"
+#include "core/solver.h"
+
+namespace cextend {
+namespace datagen {
+namespace {
+
+Nae3SatInstance SatisfiableInstance() {
+  // (x1 v x2 v x3) ∧ (¬x1 v x2 v ¬x3): x1=T, x2=F, x3=F NAE-satisfies both.
+  Nae3SatInstance instance;
+  instance.num_vars = 3;
+  instance.clauses.push_back({1, 2, 3});
+  instance.clauses.push_back({-1, 2, -3});
+  return instance;
+}
+
+TEST(Nae3SatTest, EncodingShape) {
+  auto enc = EncodeNae3Sat(SatisfiableInstance());
+  ASSERT_TRUE(enc.ok()) << enc.status();
+  EXPECT_EQ(enc->r1.NumRows(), 6u);  // 2 clauses x 3 literals
+  EXPECT_EQ(enc->r2.NumRows(), 2u);  // Chosen in {0, 1}
+  EXPECT_EQ(enc->dcs.size(), 2u);
+  EXPECT_EQ(enc->dcs[0].arity(), 2);
+  EXPECT_EQ(enc->dcs[1].arity(), 3);
+}
+
+TEST(Nae3SatTest, IsNaeSatisfyingChecksBothPolarities) {
+  Nae3SatInstance instance = SatisfiableInstance();
+  EXPECT_TRUE(IsNaeSatisfying(instance, {true, false, false}));
+  // All-true fails NAE on the first clause.
+  EXPECT_FALSE(IsNaeSatisfying(instance, {true, true, true}));
+}
+
+TEST(Nae3SatTest, BruteForceFindsWitness) {
+  Nae3SatInstance instance = SatisfiableInstance();
+  auto witness = BruteForceNae(instance);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(IsNaeSatisfying(instance, *witness));
+}
+
+TEST(Nae3SatTest, BruteForceDetectsUnsat) {
+  // x ∨ x ∨ x (one variable three times) can never be not-all-equal.
+  Nae3SatInstance instance;
+  instance.num_vars = 1;
+  instance.clauses.push_back({1, 1, 1});
+  EXPECT_FALSE(BruteForceNae(instance).has_value());
+}
+
+TEST(Nae3SatTest, DecodeRejectsInconsistentCompletion) {
+  Nae3SatInstance instance = SatisfiableInstance();
+  auto enc = EncodeNae3Sat(instance);
+  ASSERT_TRUE(enc.ok());
+  Table r1 = enc->r1.Clone();
+  size_t chosen = r1.schema().IndexOrDie("Chosen");
+  // Row 0 is (x1, alpha=1); row 3 is (x1, alpha=0). Chosen=1 for both means
+  // x1 = T and x1 = F simultaneously.
+  for (size_t r = 0; r < r1.NumRows(); ++r) r1.SetCode(r, chosen, 1);
+  EXPECT_FALSE(DecodeAssignment(instance, r1).has_value());
+}
+
+TEST(Nae3SatTest, ManualWitnessDecodesAndVerifies) {
+  Nae3SatInstance instance = SatisfiableInstance();
+  auto enc = EncodeNae3Sat(instance);
+  ASSERT_TRUE(enc.ok());
+  // Encode witness x1=T, x2=F, x3=F: Chosen = 1 iff row's alpha equals the
+  // witness value of its variable.
+  std::vector<bool> witness = {true, false, false};
+  Table r1 = enc->r1.Clone();
+  size_t var_col = r1.schema().IndexOrDie("Var");
+  size_t alpha_col = r1.schema().IndexOrDie("Alpha");
+  size_t chosen_col = r1.schema().IndexOrDie("Chosen");
+  for (size_t r = 0; r < r1.NumRows(); ++r) {
+    bool alpha = r1.GetCode(r, alpha_col) == 1;
+    bool value = witness[static_cast<size_t>(r1.GetCode(r, var_col))];
+    r1.SetCode(r, chosen_col, alpha == value ? 1 : 0);
+  }
+  auto decoded = DecodeAssignment(instance, r1);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, witness);
+  // The completion also satisfies both reduction DCs.
+  auto report = EvaluateDcError(enc->dcs, r1, "Chosen");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->error, 0.0) << report->Summary();
+}
+
+TEST(Nae3SatTest, SolverOutputAlwaysSatisfiesDcs) {
+  // The heuristic solver cannot decide NAE-3SAT, but whatever it outputs
+  // must satisfy the DCs (possibly after augmenting R2 with fresh keys).
+  Rng rng(31);
+  Nae3SatInstance instance = RandomNae3Sat(6, 8, rng);
+  auto enc = EncodeNae3Sat(instance);
+  ASSERT_TRUE(enc.ok());
+  auto solution =
+      SolveCExtension(enc->r1, enc->r2, enc->names, {}, enc->dcs, {});
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  auto report = EvaluateDcError(enc->dcs, solution->r1_hat, "Chosen");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->error, 0.0) << report->Summary();
+}
+
+TEST(Nae3SatTest, RandomInstanceHasThreeDistinctVars) {
+  Rng rng(5);
+  Nae3SatInstance instance = RandomNae3Sat(5, 20, rng);
+  EXPECT_EQ(instance.clauses.size(), 20u);
+  for (const auto& clause : instance.clauses) {
+    std::set<int> vars;
+    for (int literal : clause) {
+      EXPECT_NE(literal, 0);
+      EXPECT_LE(std::abs(literal), 5);
+      vars.insert(std::abs(literal));
+    }
+    EXPECT_EQ(vars.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace cextend

@@ -1,0 +1,172 @@
+#include "ilp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cextend {
+namespace ilp {
+namespace {
+
+TEST(SimplexTest, SimpleMaximization) {
+  // max x + y  s.t. x + y <= 4, x <= 2  ->  min -(x+y) = -4.
+  Model m;
+  int x = m.AddVariable(-1.0, false);
+  int y = m.AddVariable(-1.0, false);
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kLe, 4.0);
+  m.AddConstraint({{x, 1.0}}, Sense::kLe, 2.0);
+  LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -4.0, 1e-9);
+  EXPECT_NEAR(r.values[static_cast<size_t>(x)] + r.values[static_cast<size_t>(y)], 4.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualitySystem) {
+  // x + y = 3, x - y = 1 -> x=2, y=1.
+  Model m;
+  int x = m.AddVariable(0.0, false);
+  int y = m.AddVariable(0.0, false);
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kEq, 3.0);
+  m.AddConstraint({{x, 1.0}, {y, -1.0}}, Sense::kEq, 1.0);
+  LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.values[static_cast<size_t>(x)], 2.0, 1e-9);
+  EXPECT_NEAR(r.values[static_cast<size_t>(y)], 1.0, 1e-9);
+}
+
+TEST(SimplexTest, GreaterEqualRows) {
+  // min x + y s.t. x + 2y >= 4, 3x + y >= 6.
+  Model m;
+  int x = m.AddVariable(1.0, false);
+  int y = m.AddVariable(1.0, false);
+  m.AddConstraint({{x, 1.0}, {y, 2.0}}, Sense::kGe, 4.0);
+  m.AddConstraint({{x, 3.0}, {y, 1.0}}, Sense::kGe, 6.0);
+  LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  // Optimum at intersection: x = 8/5, y = 6/5, obj = 14/5.
+  EXPECT_NEAR(r.objective, 2.8, 1e-8);
+}
+
+TEST(SimplexTest, Infeasible) {
+  Model m;
+  int x = m.AddVariable(0.0, false);
+  m.AddConstraint({{x, 1.0}}, Sense::kGe, 5.0);
+  m.AddConstraint({{x, 1.0}}, Sense::kLe, 3.0);
+  EXPECT_EQ(SolveLp(m).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, Unbounded) {
+  Model m;
+  int x = m.AddVariable(-1.0, false);  // min -x with x free upward
+  m.AddConstraint({{x, 1.0}}, Sense::kGe, 0.0);
+  EXPECT_EQ(SolveLp(m).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, VariableUpperBound) {
+  Model m;
+  int x = m.AddVariable(-1.0, false, /*upper=*/7.0);
+  LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.values[0], 7.0, 1e-9);
+}
+
+TEST(SimplexTest, ExtraBoundsForBranchAndBound) {
+  // min -x s.t. x <= 10, with branch bounds 2 <= x <= 5.
+  Model m;
+  int x = m.AddVariable(-1.0, false);
+  m.AddConstraint({{x, 1.0}}, Sense::kLe, 10.0);
+  LpResult r = SolveLp(m, {}, {2.0}, {5.0});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.values[0], 5.0, 1e-9);
+  // Lower bound above upper bound: infeasible.
+  EXPECT_EQ(SolveLp(m, {}, {6.0}, {5.0}).status, LpStatus::kInfeasible);
+  // Lower bound shifts the solution floor.
+  LpResult r2 = SolveLp(m, {}, {2.0}, {kInfinity});
+  ASSERT_EQ(r2.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r2.values[0], 10.0, 1e-9);
+}
+
+TEST(SimplexTest, NegativeRhsNormalization) {
+  // -x <= -3  ==  x >= 3; min x -> 3.
+  Model m;
+  int x = m.AddVariable(1.0, false);
+  m.AddConstraint({{x, -1.0}}, Sense::kLe, -3.0);
+  LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  Model m;
+  int x = m.AddVariable(-1.0, false);
+  int y = m.AddVariable(-1.0, false);
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kLe, 2.0);
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kLe, 2.0);
+  m.AddConstraint({{x, 2.0}, {y, 2.0}}, Sense::kLe, 4.0);
+  m.AddConstraint({{x, 1.0}}, Sense::kLe, 1.0);
+  LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -2.0, 1e-8);
+}
+
+TEST(SimplexTest, RedundantEqualityRows) {
+  // Duplicate equality rows must not break phase 1 artificial elimination.
+  Model m;
+  int x = m.AddVariable(1.0, false);
+  int y = m.AddVariable(1.0, false);
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kEq, 5.0);
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kEq, 5.0);
+  LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 5.0, 1e-8);
+}
+
+// Property: on random feasible systems A x0 = b (A 0/1, x0 >= 0), the LP
+// minimum of sum(x) is <= sum(x0) and the returned point satisfies A x = b.
+class SimplexRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexRandomTest, FeasibleSystemsSolved) {
+  Rng rng(GetParam());
+  size_t n = 6 + static_cast<size_t>(rng.UniformInt(0, 6));
+  size_t rows = 3 + static_cast<size_t>(rng.UniformInt(0, 4));
+  Model m;
+  std::vector<double> x0(n);
+  for (size_t j = 0; j < n; ++j) {
+    m.AddVariable(1.0, false);
+    x0[j] = static_cast<double>(rng.UniformInt(0, 5));
+  }
+  std::vector<std::vector<double>> a(rows, std::vector<double>(n));
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<LinearTerm> terms;
+    double rhs = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      a[i][j] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+      if (a[i][j] != 0.0) {
+        terms.push_back({static_cast<int>(j), 1.0});
+        rhs += x0[j];
+      }
+    }
+    m.AddConstraint(std::move(terms), Sense::kEq, rhs);
+  }
+  LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  double sum0 = 0.0;
+  for (double v : x0) sum0 += v;
+  EXPECT_LE(r.objective, sum0 + 1e-6);
+  for (size_t i = 0; i < rows; ++i) {
+    double lhs = 0.0, rhs = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      lhs += a[i][j] * r.values[j];
+      rhs += a[i][j] * x0[j];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace ilp
+}  // namespace cextend

@@ -1,0 +1,100 @@
+// End-to-end reproduction of the paper's running example (Figures 1-5,
+// Examples 2.7, 3.1, 4.1, 5.3, 5.4): the solver must find a completion that,
+// like Figure 3, satisfies every CC and every DC.
+
+#include <gtest/gtest.h>
+
+#include "constraints/metrics.h"
+#include "core/binning.h"
+#include "core/solver.h"
+#include "test_util.h"
+
+namespace cextend {
+namespace {
+
+using testing_fixtures::MakePaperExample;
+using testing_fixtures::PaperExample;
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = std::make_unique<PaperExample>(MakePaperExample());
+    auto solution =
+        SolveCExtension(ex_->persons, ex_->housing, ex_->names, ex_->ccs,
+                        ex_->dcs, SolverOptions{});
+    ASSERT_TRUE(solution.ok()) << solution.status();
+    solution_ = std::make_unique<Solution>(std::move(solution).value());
+  }
+
+  std::unique_ptr<PaperExample> ex_;
+  std::unique_ptr<Solution> solution_;
+};
+
+TEST_F(PaperExampleTest, Example27AllConstraintsSatisfied) {
+  auto cc = EvaluateCcError(ex_->ccs, solution_->v_join);
+  ASSERT_TRUE(cc.ok());
+  EXPECT_EQ(cc->num_exact, 4u) << cc->Summary();
+  auto dc = EvaluateDcError(ex_->dcs, solution_->r1_hat, "hid");
+  ASSERT_TRUE(dc.ok());
+  EXPECT_EQ(dc->num_violations, 0u) << dc->Summary();
+}
+
+TEST_F(PaperExampleTest, Figure5ViewShape) {
+  // The completed view must place 7 people in Chicago and 2 in NYC
+  // (Figure 5), since CC1+CC3 pin Chicago's owners and under-25s and CC2
+  // pins NYC's owners.
+  size_t area_col = solution_->v_join.schema().IndexOrDie("Area");
+  size_t chicago = 0, nyc = 0;
+  for (size_t r = 0; r < solution_->v_join.NumRows(); ++r) {
+    Value v = solution_->v_join.GetValue(r, area_col);
+    ASSERT_FALSE(v.is_null());
+    if (v.AsString() == "Chicago") ++chicago;
+    else if (v.AsString() == "NYC") ++nyc;
+  }
+  EXPECT_EQ(chicago, 7u);
+  EXPECT_EQ(nyc, 2u);
+}
+
+TEST_F(PaperExampleTest, Example54PartitionStructure) {
+  // NYC candidate households {5, 6} are disjoint from Chicago's {1..4}:
+  // every person in an NYC row must have hid in {5, 6} (or a fresh key,
+  // which this feasible instance does not need).
+  EXPECT_EQ(solution_->r2_hat.NumRows(), 6u);  // no augmentation
+  size_t area_col = solution_->v_join.schema().IndexOrDie("Area");
+  size_t hid_col = solution_->r1_hat.schema().IndexOrDie("hid");
+  for (size_t r = 0; r < solution_->v_join.NumRows(); ++r) {
+    int64_t hid = solution_->r1_hat.GetCode(r, hid_col);
+    if (solution_->v_join.GetValue(r, area_col).AsString() == "NYC") {
+      EXPECT_TRUE(hid == 5 || hid == 6);
+    } else {
+      EXPECT_TRUE(hid >= 1 && hid <= 4);
+    }
+  }
+}
+
+TEST_F(PaperExampleTest, OwnersLiveAlone) {
+  // DC_O_O: all four Chicago owners in distinct homes; both NYC owners too.
+  size_t hid_col = solution_->r1_hat.schema().IndexOrDie("hid");
+  size_t rel_col = solution_->r1_hat.schema().IndexOrDie("Rel");
+  std::set<int64_t> owner_homes;
+  size_t owners = 0;
+  for (size_t r = 0; r < solution_->r1_hat.NumRows(); ++r) {
+    if (solution_->r1_hat.GetValue(r, rel_col).AsString() == "Owner") {
+      owner_homes.insert(solution_->r1_hat.GetCode(r, hid_col));
+      ++owners;
+    }
+  }
+  EXPECT_EQ(owners, 6u);
+  EXPECT_EQ(owner_homes.size(), 6u);
+}
+
+TEST_F(PaperExampleTest, BreakdownCoversAllStages) {
+  std::string breakdown = solution_->stats.BreakdownTable();
+  for (const char* stage :
+       {"Pairwise", "Recursion", "ILP", "Coloring", "Total"}) {
+    EXPECT_NE(breakdown.find(stage), std::string::npos) << breakdown;
+  }
+}
+
+}  // namespace
+}  // namespace cextend

@@ -1,0 +1,133 @@
+#include "relational/attr_set.h"
+
+#include <gtest/gtest.h>
+
+namespace cextend {
+namespace {
+
+TEST(AttrSetTest, IntervalBasics) {
+  AttrSet a = AttrSet::Interval(5, 10);
+  AttrSet b = AttrSet::Interval(7, 8);
+  AttrSet c = AttrSet::Interval(11, 20);
+  EXPECT_FALSE(a.IsEmpty());
+  EXPECT_TRUE(AttrSet::Interval(3, 2).IsEmpty());
+  EXPECT_TRUE(b.SubsetOf(a));
+  EXPECT_FALSE(a.SubsetOf(b));
+  EXPECT_TRUE(a.DisjointFrom(c));
+  EXPECT_FALSE(a.DisjointFrom(b));
+  EXPECT_TRUE(a.SubsetOf(AttrSet::FullInt()));
+}
+
+TEST(AttrSetTest, IntervalIntersection) {
+  AttrSet i = AttrSet::Interval(5, 10).IntersectWith(AttrSet::Interval(8, 20));
+  EXPECT_EQ(i.lo(), 8);
+  EXPECT_EQ(i.hi(), 10);
+  EXPECT_TRUE(AttrSet::Interval(1, 2)
+                  .IntersectWith(AttrSet::Interval(3, 4))
+                  .IsEmpty());
+}
+
+TEST(AttrSetTest, CategoricalPositive) {
+  AttrSet ab = AttrSet::CatIn({"a", "b"});
+  AttrSet a = AttrSet::CatIn({"a"});
+  AttrSet cd = AttrSet::CatIn({"c", "d"});
+  EXPECT_TRUE(a.SubsetOf(ab));
+  EXPECT_FALSE(ab.SubsetOf(a));
+  EXPECT_TRUE(ab.DisjointFrom(cd));
+  EXPECT_FALSE(ab.DisjointFrom(a));
+  EXPECT_TRUE(AttrSet::CatIn({}).IsEmpty());
+}
+
+TEST(AttrSetTest, CategoricalNegative) {
+  AttrSet not_a = AttrSet::CatNotIn({"a"});
+  AttrSet not_ab = AttrSet::CatNotIn({"a", "b"});
+  AttrSet b = AttrSet::CatIn({"b"});
+  AttrSet a = AttrSet::CatIn({"a"});
+  // comp({a,b}) subset of comp({a}).
+  EXPECT_TRUE(not_ab.SubsetOf(not_a));
+  EXPECT_FALSE(not_a.SubsetOf(not_ab));
+  // {b} subset of comp({a}); {a} disjoint from comp({a}).
+  EXPECT_TRUE(b.SubsetOf(not_a));
+  EXPECT_TRUE(a.DisjointFrom(not_a));
+  // Open domain: complements are never provably empty or disjoint.
+  EXPECT_FALSE(not_a.IsEmpty());
+  EXPECT_FALSE(not_a.DisjointFrom(not_ab));
+}
+
+TEST(AttrSetTest, MixedIntersections) {
+  AttrSet pos = AttrSet::CatIn({"a", "b", "c"});
+  AttrSet neg = AttrSet::CatNotIn({"b"});
+  AttrSet i = pos.IntersectWith(neg);
+  EXPECT_EQ(i.values(), (std::vector<std::string>{"a", "c"}));
+  AttrSet nn = AttrSet::CatNotIn({"a"}).IntersectWith(AttrSet::CatNotIn({"b"}));
+  EXPECT_EQ(nn.values(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(nn.kind(), AttrSet::Kind::kCatNegative);
+}
+
+TEST(AttrSetTest, UnknownIsConservative) {
+  AttrSet u = AttrSet::Unknown();
+  AttrSet i = AttrSet::Interval(1, 5);
+  EXPECT_FALSE(u.SubsetOf(i));
+  EXPECT_FALSE(i.SubsetOf(u));
+  EXPECT_FALSE(u.DisjointFrom(i));
+  EXPECT_TRUE(u.SubsetOf(AttrSet::Unknown()));  // equal only
+}
+
+TEST(AttrSetTest, Membership) {
+  EXPECT_TRUE(AttrSet::Interval(1, 5).ContainsInt(3));
+  EXPECT_FALSE(AttrSet::Interval(1, 5).ContainsInt(6));
+  EXPECT_TRUE(AttrSet::CatIn({"a"}).ContainsString("a"));
+  EXPECT_FALSE(AttrSet::CatIn({"a"}).ContainsString("b"));
+  EXPECT_FALSE(AttrSet::CatNotIn({"a"}).ContainsString("a"));
+  EXPECT_TRUE(AttrSet::CatNotIn({"a"}).ContainsString("b"));
+  EXPECT_TRUE(AttrSet::Unknown().ContainsInt(0));
+}
+
+TEST(ComputeAttrSetsTest, FoldsConjuncts) {
+  Schema schema{{"Age", DataType::kInt64}, {"Rel", DataType::kString}};
+  Predicate p;
+  p.Ge("Age", Value(10)).Le("Age", Value(20)).Eq("Rel", Value("Owner"));
+  auto sets = ComputeAttrSets(p, schema);
+  ASSERT_TRUE(sets.ok());
+  EXPECT_EQ(sets->at("Age").lo(), 10);
+  EXPECT_EQ(sets->at("Age").hi(), 20);
+  EXPECT_EQ(sets->at("Rel").values(), (std::vector<std::string>{"Owner"}));
+}
+
+TEST(ComputeAttrSetsTest, StrictBoundsShrink) {
+  Schema schema{{"Age", DataType::kInt64}};
+  Predicate p;
+  p.Gt("Age", Value(10)).Lt("Age", Value(20));
+  auto sets = ComputeAttrSets(p, schema);
+  ASSERT_TRUE(sets.ok());
+  EXPECT_EQ(sets->at("Age").lo(), 11);
+  EXPECT_EQ(sets->at("Age").hi(), 19);
+}
+
+TEST(ComputeAttrSetsTest, ContradictionYieldsEmpty) {
+  Schema schema{{"Rel", DataType::kString}};
+  Predicate p;
+  p.Eq("Rel", Value("A")).Eq("Rel", Value("B"));
+  auto sets = ComputeAttrSets(p, schema);
+  ASSERT_TRUE(sets.ok());
+  EXPECT_TRUE(sets->at("Rel").IsEmpty());
+}
+
+TEST(ComputeAttrSetsTest, IntNeIsUnknown) {
+  Schema schema{{"Age", DataType::kInt64}};
+  Predicate p;
+  p.Ne("Age", Value(10));
+  auto sets = ComputeAttrSets(p, schema);
+  ASSERT_TRUE(sets.ok());
+  EXPECT_EQ(sets->at("Age").kind(), AttrSet::Kind::kUnknown);
+}
+
+TEST(ComputeAttrSetsTest, UnknownColumnFails) {
+  Schema schema{{"Age", DataType::kInt64}};
+  Predicate p;
+  p.Eq("Nope", Value(1));
+  EXPECT_FALSE(ComputeAttrSets(p, schema).ok());
+}
+
+}  // namespace
+}  // namespace cextend

@@ -1,0 +1,76 @@
+#include "relational/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace cextend {
+namespace {
+
+Schema TestSchema() {
+  return Schema{{"id", DataType::kInt64},
+                {"name", DataType::kString},
+                {"age", DataType::kInt64}};
+}
+
+TEST(CsvTest, RoundTrip) {
+  Table t{TestSchema()};
+  ASSERT_TRUE(t.AppendRow({Value(1), Value("ann"), Value(30)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(2), Value("bob"), Value::Null()}).ok());
+  std::string csv = ToCsv(t);
+  auto parsed = ParseCsv(csv, TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->NumRows(), 2u);
+  EXPECT_EQ(parsed->GetValue(0, 1), Value("ann"));
+  EXPECT_TRUE(parsed->IsNull(1, 2));
+}
+
+TEST(CsvTest, QuotingRoundTrip) {
+  Table t{TestSchema()};
+  ASSERT_TRUE(t.AppendRow({Value(1), Value("has,comma"), Value(1)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(2), Value("has \"quote\""), Value(2)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(3), Value("has\nnewline"), Value(3)}).ok());
+  auto parsed = ParseCsv(ToCsv(t), TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->GetValue(0, 1), Value("has,comma"));
+  EXPECT_EQ(parsed->GetValue(1, 1), Value("has \"quote\""));
+  EXPECT_EQ(parsed->GetValue(2, 1), Value("has\nnewline"));
+}
+
+TEST(CsvTest, HeaderValidation) {
+  EXPECT_FALSE(ParseCsv("id,wrong,age\n1,x,2\n", TestSchema()).ok());
+  EXPECT_FALSE(ParseCsv("id,name\n", TestSchema()).ok());
+  EXPECT_FALSE(ParseCsv("", TestSchema()).ok());
+}
+
+TEST(CsvTest, BadFieldCount) {
+  EXPECT_FALSE(ParseCsv("id,name,age\n1,x\n", TestSchema()).ok());
+}
+
+TEST(CsvTest, BadInteger) {
+  EXPECT_FALSE(ParseCsv("id,name,age\nseven,x,2\n", TestSchema()).ok());
+}
+
+TEST(CsvTest, BlankLinesSkipped) {
+  auto parsed = ParseCsv("id,name,age\n1,x,2\n\n2,y,3\n", TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->NumRows(), 2u);
+}
+
+TEST(CsvTest, CrLfHandling) {
+  auto parsed = ParseCsv("id,name,age\r\n1,x,2\r\n", TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->GetValue(0, 1), Value("x"));
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t{TestSchema()};
+  ASSERT_TRUE(t.AppendRow({Value(7), Value("zoe"), Value(9)}).ok());
+  std::string path = ::testing::TempDir() + "/cextend_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto parsed = ReadCsv(path, TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->GetValue(0, 1), Value("zoe"));
+  EXPECT_FALSE(ReadCsv("/nonexistent/x.csv", TestSchema()).ok());
+}
+
+}  // namespace
+}  // namespace cextend

@@ -1,0 +1,46 @@
+#include "relational/value.h"
+
+#include <gtest/gtest.h>
+
+namespace cextend {
+namespace {
+
+TEST(ValueTest, Null) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_int());
+  EXPECT_FALSE(v.is_string());
+  EXPECT_EQ(v.ToString(), "NULL");
+  EXPECT_EQ(v, Value::Null());
+}
+
+TEST(ValueTest, Int) {
+  Value v(int64_t{42});
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+  EXPECT_EQ(Value(7), Value(int64_t{7}));  // int promotes to int64
+}
+
+TEST(ValueTest, String) {
+  Value v("Chicago");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "Chicago");
+  EXPECT_EQ(v.ToString(), "Chicago");
+  EXPECT_EQ(Value(std::string("x")), Value("x"));
+}
+
+TEST(ValueTest, EqualityAcrossKinds) {
+  EXPECT_FALSE(Value(1) == Value("1"));
+  EXPECT_FALSE(Value(1) == Value::Null());
+  EXPECT_FALSE(Value("a") == Value("b"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeToString(DataType::kInt64), "INT64");
+  EXPECT_STREQ(DataTypeToString(DataType::kString), "STRING");
+}
+
+}  // namespace
+}  // namespace cextend

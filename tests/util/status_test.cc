@@ -1,0 +1,94 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/statusor.h"
+
+namespace cextend {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Infeasible("x").code(), StatusCode::kInfeasible);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status Chained(int x) {
+  CEXTEND_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chained(5).ok());
+  EXPECT_EQ(Chained(-1).code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+StatusOr<int> Doubled(int x) {
+  CEXTEND_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(StatusOrTest, ValueAndError) {
+  StatusOr<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 21);
+  EXPECT_EQ(*ok, 21);
+
+  StatusOr<int> err = ParsePositive(-3);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusOrTest, AssignOrReturn) {
+  EXPECT_EQ(Doubled(4).value(), 8);
+  EXPECT_EQ(Doubled(0).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusOrTest, MoveOnlyStyleValue) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(v.ok());
+  std::vector<int> taken = std::move(v).value();
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+}  // namespace
+}  // namespace cextend

@@ -1,0 +1,187 @@
+// cextend_cli — solve a C-Extension instance from CSV files and a
+// constraint spec, no C++ required.
+//
+//   cextend_cli --r1=persons.csv --r1-schema="pid:int,Age:int,Rel:str,hid:int"
+//               --r2=housing.csv --r2-schema="hid:int,Area:str"
+//               --key1=pid --fk=hid --key2=hid
+//               --constraints=spec.txt
+//               [--out-r1=r1_hat.csv] [--out-r2=r2_hat.csv]
+//               [--out-join=v_join.csv] [--seed=N] [--threads=N]
+//               [--method=hybrid|baseline|baseline-marginals]
+//
+// The spec file holds one constraint per line (see constraints/parser.h):
+//     cc chicago_owners: COUNT(Rel = "Owner" & Area = "Chicago") = 4
+//     dc one_owner:      !(t0.Rel = "Owner" & t1.Rel = "Owner")
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "constraints/metrics.h"
+#include "constraints/parser.h"
+#include "core/baseline.h"
+#include "core/solver.h"
+#include "relational/csv.h"
+#include "util/string_util.h"
+
+namespace cextend {
+namespace {
+
+struct CliArgs {
+  std::string r1_path, r1_schema;
+  std::string r2_path, r2_schema;
+  std::string key1, fk, key2;
+  std::string constraints_path;
+  std::string out_r1 = "r1_hat.csv";
+  std::string out_r2 = "r2_hat.csv";
+  std::string out_join;
+  std::string method = "hybrid";
+  uint64_t seed = 1;
+  size_t threads = 1;
+};
+
+StatusOr<Schema> ParseSchemaSpec(const std::string& spec) {
+  std::vector<ColumnSpec> columns;
+  for (const std::string& field : StrSplit(spec, ',')) {
+    std::vector<std::string> parts = StrSplit(field, ':');
+    if (parts.size() != 2) {
+      return Status::InvalidArgument("bad schema field '" + field +
+                                     "'; expected name:int or name:str");
+    }
+    std::string name(StrTrim(parts[0]));
+    std::string type(StrTrim(parts[1]));
+    if (type == "int" || type == "i64" || type == "int64") {
+      columns.push_back({name, DataType::kInt64});
+    } else if (type == "str" || type == "string") {
+      columns.push_back({name, DataType::kString});
+    } else {
+      return Status::InvalidArgument("unknown column type: " + type);
+    }
+  }
+  if (columns.empty()) return Status::InvalidArgument("empty schema spec");
+  return Schema(columns);
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --r1=CSV --r1-schema=SPEC --r2=CSV --r2-schema=SPEC \\\n"
+      "          --key1=COL --fk=COL --key2=COL --constraints=FILE \\\n"
+      "          [--out-r1=CSV] [--out-r2=CSV] [--out-join=CSV] \\\n"
+      "          [--seed=N] [--threads=N] "
+      "[--method=hybrid|baseline|baseline-marginals]\n",
+      argv0);
+  return 2;
+}
+
+Status Run(const CliArgs& args) {
+  CEXTEND_ASSIGN_OR_RETURN(Schema r1_schema, ParseSchemaSpec(args.r1_schema));
+  CEXTEND_ASSIGN_OR_RETURN(Schema r2_schema, ParseSchemaSpec(args.r2_schema));
+  CEXTEND_ASSIGN_OR_RETURN(Table r1, ReadCsv(args.r1_path, r1_schema));
+  CEXTEND_ASSIGN_OR_RETURN(Table r2, ReadCsv(args.r2_path, r2_schema));
+  CEXTEND_ASSIGN_OR_RETURN(
+      PairSchema names,
+      PairSchema::Infer(r1, r2, args.key1, args.fk, args.key2));
+  CEXTEND_ASSIGN_OR_RETURN(std::string spec_text,
+                           ReadFile(args.constraints_path));
+  // The spec's CC columns are resolved against the *attribute* schemas so
+  // key/FK columns cannot be constrained by accident.
+  std::vector<ColumnSpec> r1_attr_cols, r2_attr_cols;
+  for (const std::string& a : names.r1_attrs)
+    r1_attr_cols.push_back({a, r1_schema.column(r1_schema.IndexOrDie(a)).type});
+  for (const std::string& b : names.r2_attrs)
+    r2_attr_cols.push_back({b, r2_schema.column(r2_schema.IndexOrDie(b)).type});
+  CEXTEND_ASSIGN_OR_RETURN(
+      ConstraintSpec spec,
+      ParseConstraintSpec(spec_text, Schema(r1_attr_cols),
+                          Schema(r2_attr_cols)));
+  std::printf("loaded R1=%zu rows, R2=%zu rows, %zu CCs, %zu DCs\n",
+              r1.NumRows(), r2.NumRows(), spec.ccs.size(), spec.dcs.size());
+
+  SolverOptions options;
+  options.seed = args.seed;
+  options.phase2.num_threads = args.threads;
+  StatusOr<Solution> solution = Status::Internal("unset");
+  if (args.method == "hybrid") {
+    solution = SolveCExtension(r1, r2, names, spec.ccs, spec.dcs, options);
+  } else if (args.method == "baseline") {
+    solution = SolveBaseline(r1, r2, names, spec.ccs, spec.dcs,
+                             BaselineKind::kPlain, options);
+  } else if (args.method == "baseline-marginals") {
+    solution = SolveBaseline(r1, r2, names, spec.ccs, spec.dcs,
+                             BaselineKind::kWithMarginals, options);
+  } else {
+    return Status::InvalidArgument("unknown method: " + args.method);
+  }
+  CEXTEND_RETURN_IF_ERROR(solution.status());
+
+  CEXTEND_ASSIGN_OR_RETURN(CcErrorReport cc_report,
+                           EvaluateCcError(spec.ccs, solution->v_join));
+  CEXTEND_ASSIGN_OR_RETURN(
+      DcErrorReport dc_report,
+      EvaluateDcError(spec.dcs, solution->r1_hat, names.fk));
+  std::printf("%s\n%s\n", cc_report.Summary().c_str(),
+              dc_report.Summary().c_str());
+  std::printf("new R2 tuples: %zu\n",
+              solution->stats.phase2.new_r2_tuples);
+  std::printf("%s", solution->stats.BreakdownTable().c_str());
+
+  CEXTEND_RETURN_IF_ERROR(WriteCsv(solution->r1_hat, args.out_r1));
+  CEXTEND_RETURN_IF_ERROR(WriteCsv(solution->r2_hat, args.out_r2));
+  std::printf("wrote %s and %s\n", args.out_r1.c_str(), args.out_r2.c_str());
+  if (!args.out_join.empty()) {
+    CEXTEND_RETURN_IF_ERROR(WriteCsv(solution->v_join, args.out_join));
+    std::printf("wrote %s\n", args.out_join.c_str());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+}  // namespace cextend
+
+int main(int argc, char** argv) {
+  cextend::CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      size_t len = strlen(prefix);
+      return strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
+    };
+    if (const char* v = value("--r1=")) args.r1_path = v;
+    else if (const char* v = value("--r1-schema=")) args.r1_schema = v;
+    else if (const char* v = value("--r2=")) args.r2_path = v;
+    else if (const char* v = value("--r2-schema=")) args.r2_schema = v;
+    else if (const char* v = value("--key1=")) args.key1 = v;
+    else if (const char* v = value("--fk=")) args.fk = v;
+    else if (const char* v = value("--key2=")) args.key2 = v;
+    else if (const char* v = value("--constraints=")) args.constraints_path = v;
+    else if (const char* v = value("--out-r1=")) args.out_r1 = v;
+    else if (const char* v = value("--out-r2=")) args.out_r2 = v;
+    else if (const char* v = value("--out-join=")) args.out_join = v;
+    else if (const char* v = value("--method=")) args.method = v;
+    else if (const char* v = value("--seed=")) args.seed = strtoull(v, nullptr, 10);
+    else if (const char* v = value("--threads=")) args.threads = strtoull(v, nullptr, 10);
+    else return cextend::Usage(argv[0]);
+  }
+  if (args.r1_path.empty() || args.r2_path.empty() ||
+      args.r1_schema.empty() || args.r2_schema.empty() || args.key1.empty() ||
+      args.fk.empty() || args.key2.empty() || args.constraints_path.empty()) {
+    return cextend::Usage(argv[0]);
+  }
+  cextend::Status status = cextend::Run(args);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
