@@ -1,10 +1,12 @@
 // Micro-benchmarks (google-benchmark) for the algorithmic kernels: simplex
-// LP solves, greedy list coloring, CC pairwise classification, and binning.
+// LP solves, conflict-oracle construction, greedy list coloring, CC pairwise
+// classification, and binning.
 
 #include <benchmark/benchmark.h>
 
 #include "constraints/relationship.h"
 #include "core/binning.h"
+#include "core/conflict.h"
 #include "core/join_view.h"
 #include "datagen/census.h"
 #include "datagen/constraint_gen.h"
@@ -15,6 +17,110 @@
 
 namespace cextend {
 namespace {
+
+// ---- Conflict-oracle construction + partition coloring. ----
+//
+// One census-shaped partition: Rel/Age/ML/G columns with the paper's DC
+// shapes — an owner-owner clique DC (no cross atoms), an age-gap ordering
+// DC, and an equality-bucketed group DC. This is the phase-2 hot path.
+
+struct PartitionFixture {
+  Table table;
+  std::vector<BoundDenialConstraint> dcs;
+  std::vector<uint32_t> rows;
+  std::vector<int64_t> candidates;
+};
+
+PartitionFixture MakePartitionFixture(size_t n) {
+  Rng rng(29);
+  Schema schema{{"Rel", DataType::kString},
+                {"Age", DataType::kInt64},
+                {"ML", DataType::kInt64},
+                {"G", DataType::kInt64}};
+  Table t{schema};
+  const char* rels[] = {"Owner", "Spouse", "Child", "Other"};
+  for (size_t i = 0; i < n; ++i) {
+    CEXTEND_CHECK(t.AppendRow({Value(rels[rng.UniformInt(0, 3)]),
+                               Value(rng.UniformInt(0, 90)),
+                               Value(rng.UniformInt(0, 1)),
+                               Value(rng.UniformInt(0, 63))})
+                      .ok());
+  }
+  std::vector<DenialConstraint> dcs;
+  {
+    DenialConstraint dc(2, "owner-owner");
+    dc.Unary(0, "Rel", CompareOp::kEq, Value("Owner"));
+    dc.Unary(1, "Rel", CompareOp::kEq, Value("Owner"));
+    dcs.push_back(std::move(dc));
+  }
+  {
+    DenialConstraint dc(2, "age-gap");
+    dc.Unary(0, "Rel", CompareOp::kEq, Value("Owner"));
+    dc.Unary(1, "Rel", CompareOp::kEq, Value("Spouse"));
+    dc.Binary(1, "Age", CompareOp::kLt, 0, "Age", -50);
+    dcs.push_back(std::move(dc));
+  }
+  {
+    DenialConstraint dc(2, "same-group");
+    dc.Unary(0, "ML", CompareOp::kEq, Value(int64_t{1}));
+    dc.Unary(1, "ML", CompareOp::kEq, Value(int64_t{1}));
+    dc.Binary(0, "G", CompareOp::kEq, 1, "G");
+    dcs.push_back(std::move(dc));
+  }
+  auto bound = BindAll(dcs, t);
+  CEXTEND_CHECK(bound.ok());
+  PartitionFixture fixture{std::move(t), std::move(bound).value(), {}, {}};
+  for (uint32_t i = 0; i < n; ++i) fixture.rows.push_back(i);
+  for (int64_t c = 0; c < 64; ++c) fixture.candidates.push_back(c);
+  return fixture;
+}
+
+void BM_ConflictBuildIndexed(benchmark::State& state) {
+  PartitionFixture f = MakePartitionFixture(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto oracle = PartitionConflictOracle::Build(f.table, f.dcs, f.rows);
+    CEXTEND_CHECK(oracle.ok());
+    benchmark::DoNotOptimize(oracle->CountEdges());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConflictBuildIndexed)->Arg(512)->Arg(2048)->Arg(4096)->Complexity();
+
+void BM_ConflictBuildNaive(benchmark::State& state) {
+  PartitionFixture f = MakePartitionFixture(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto oracle = NaiveConflictOracle::Build(f.table, f.dcs, f.rows);
+    CEXTEND_CHECK(oracle.ok());
+    benchmark::DoNotOptimize(oracle->CountEdges());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConflictBuildNaive)->Arg(512)->Arg(2048)->Complexity();
+
+void BM_PartitionColoringIndexed(benchmark::State& state) {
+  PartitionFixture f = MakePartitionFixture(static_cast<size_t>(state.range(0)));
+  auto oracle = PartitionConflictOracle::Build(f.table, f.dcs, f.rows);
+  CEXTEND_CHECK(oracle.ok());
+  for (auto _ : state) {
+    ListColoringResult r = GreedyListColoring(*oracle, {}, f.candidates);
+    benchmark::DoNotOptimize(r.colors.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PartitionColoringIndexed)
+    ->Arg(512)->Arg(2048)->Arg(4096)->Complexity();
+
+void BM_PartitionColoringNaive(benchmark::State& state) {
+  PartitionFixture f = MakePartitionFixture(static_cast<size_t>(state.range(0)));
+  auto oracle = NaiveConflictOracle::Build(f.table, f.dcs, f.rows);
+  CEXTEND_CHECK(oracle.ok());
+  for (auto _ : state) {
+    ListColoringResult r = GreedyListColoring(*oracle, {}, f.candidates);
+    benchmark::DoNotOptimize(r.colors.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PartitionColoringNaive)->Arg(512)->Arg(2048)->Complexity();
 
 // ---- Simplex on random dense feasible LPs. ----
 void BM_SimplexRandomLp(benchmark::State& state) {

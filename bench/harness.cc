@@ -3,12 +3,39 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "util/string_util.h"
 #include "util/timer.h"
 
 namespace cextend {
 namespace bench {
+void RecordPhase2Bench(const Dataset& dataset, Method method,
+                       const RunResult& result) {
+  const char* path = getenv("CEXTEND_BENCH_JSON");
+  if (path != nullptr && strcmp(path, "off") == 0) return;
+  if (path == nullptr || *path == '\0') path = "BENCH_phase2.json";
+  const Phase2Stats& p2 = result.stats.phase2;
+  // One JSON object per line, appended, so records from every bench binary
+  // of a sweep accumulate in one trajectory file; delete the file to start a
+  // fresh trajectory.
+  FILE* f = fopen(path, "a");
+  if (f == nullptr) return;  // perf log is best-effort
+  fprintf(f,
+          "{\"method\": \"%s\", \"scale\": %.3f, \"persons\": %zu, "
+          "\"households\": %zu, \"total_seconds\": %.6f, "
+          "\"phase2_seconds\": %.6f, \"partition_seconds\": %.6f, "
+          "\"coloring_seconds\": %.6f, \"invalid_seconds\": %.6f, "
+          "\"num_partitions\": %zu, \"skipped_vertices\": %zu, "
+          "\"new_r2_tuples\": %zu}\n",
+          MethodName(method), dataset.scale, dataset.data.persons.NumRows(),
+          dataset.data.housing.NumRows(), result.seconds,
+          result.stats.phase2_seconds, p2.partition_seconds,
+          p2.coloring_seconds, p2.invalid_seconds, p2.num_partitions,
+          p2.skipped_vertices, p2.new_r2_tuples);
+  fclose(f);
+}
 
 HarnessOptions HarnessOptions::FromArgs(int argc, char** argv) {
   HarnessOptions options;
@@ -136,6 +163,7 @@ StatusOr<RunResult> RunMethod(const Dataset& dataset, Method method,
   CEXTEND_ASSIGN_OR_RETURN(
       result.dc,
       EvaluateDcError(dataset.dcs, solution->r1_hat, dataset.data.names.fk));
+  RecordPhase2Bench(dataset, method, result);
   return result;
 }
 

@@ -67,8 +67,18 @@ struct RunResult {
 };
 
 /// Runs one method over the dataset and evaluates both error measures.
+/// Every run also appends a phase-2 perf record to the JSON trajectory file
+/// (see RecordPhase2Bench).
 StatusOr<RunResult> RunMethod(const Dataset& dataset, Method method,
                               const HarnessOptions& options);
+
+/// Appends one JSON-lines record to the phase-2 perf trajectory file
+/// (default `BENCH_phase2.json`, overridable via the CEXTEND_BENCH_JSON
+/// environment variable; set it to `off` to disable). Append-only, so a
+/// sweep over several bench binaries accumulates one trajectory; future PRs
+/// diff these files to track the phase-2 hot path.
+void RecordPhase2Bench(const Dataset& dataset, Method method,
+                       const RunResult& result);
 
 /// Prints the standard bench banner.
 void PrintBanner(const std::string& title, const HarnessOptions& options);

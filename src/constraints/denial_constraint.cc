@@ -121,9 +121,9 @@ StatusOr<BoundDenialConstraint> BoundDenialConstraint::Bind(
         return Status::InvalidArgument(
             "cross-dictionary string comparison: " + atom.ToString());
       }
-      bound.binary_.push_back(BoundBinary{atom.lhs_tuple, *lhs_col, atom.op,
-                                          atom.rhs_tuple, *rhs_col,
-                                          atom.offset});
+      bound.binary_.push_back(CrossAtom{atom.lhs_tuple, *lhs_col, atom.op,
+                                        atom.rhs_tuple, *rhs_col,
+                                        atom.offset});
     } else {
       BoundUnary u;
       u.tuple = atom.lhs_tuple;
@@ -218,38 +218,42 @@ bool BoundDenialConstraint::SideMatches(const Table& table, uint32_t row,
   return true;
 }
 
+bool BoundDenialConstraint::CompareCodes(int64_t lhs, CompareOp op,
+                                         int64_t rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    case CompareOp::kIn:
+      return false;  // IN is unary-only
+  }
+  return false;
+}
+
+bool BoundDenialConstraint::CrossAtomHolds(const CrossAtom& a,
+                                           int64_t lhs_cell,
+                                           int64_t rhs_cell) {
+  if (lhs_cell == kNullCode || rhs_cell == kNullCode) return false;
+  return CompareCodes(lhs_cell, a.op, rhs_cell + a.offset);
+}
+
 bool BoundDenialConstraint::CrossAtomsHold(
     const Table& table, const std::vector<uint32_t>& rows) const {
-  for (const BoundBinary& b : binary_) {
-    int64_t lhs = table.GetCode(rows[static_cast<size_t>(b.lhs_tuple)], b.lhs_col);
-    int64_t rhs = table.GetCode(rows[static_cast<size_t>(b.rhs_tuple)], b.rhs_col);
-    if (lhs == kNullCode || rhs == kNullCode) return false;
-    rhs += b.offset;
-    bool ok = false;
-    switch (b.op) {
-      case CompareOp::kEq:
-        ok = lhs == rhs;
-        break;
-      case CompareOp::kNe:
-        ok = lhs != rhs;
-        break;
-      case CompareOp::kLt:
-        ok = lhs < rhs;
-        break;
-      case CompareOp::kLe:
-        ok = lhs <= rhs;
-        break;
-      case CompareOp::kGt:
-        ok = lhs > rhs;
-        break;
-      case CompareOp::kGe:
-        ok = lhs >= rhs;
-        break;
-      case CompareOp::kIn:
-        ok = false;  // IN is unary-only
-        break;
-    }
-    if (!ok) return false;
+  for (const CrossAtom& b : binary_) {
+    int64_t lhs =
+        table.GetCode(rows[static_cast<size_t>(b.lhs_tuple)], b.lhs_col);
+    int64_t rhs =
+        table.GetCode(rows[static_cast<size_t>(b.rhs_tuple)], b.rhs_col);
+    if (!CrossAtomHolds(b, lhs, rhs)) return false;
   }
   return true;
 }

@@ -70,10 +70,40 @@ class DenialConstraint {
 /// A DC compiled against a concrete table for code-level evaluation.
 class BoundDenialConstraint {
  public:
+  /// One bound binary atom `t[lhs_tuple].lhs_col ∘ t[rhs_tuple].rhs_col +
+  /// offset`. Exposed so the indexed conflict builder can bucket vertices by
+  /// the codes of equality-atom columns and sort runs for ordering atoms
+  /// instead of evaluating CrossAtomsHold per candidate pair.
+  struct CrossAtom {
+    int lhs_tuple;
+    size_t lhs_col;
+    CompareOp op;
+    int rhs_tuple;
+    size_t rhs_col;
+    int64_t offset;
+
+    /// A cross atom relates two distinct tuple variables; `t0.A < t0.B`
+    /// style atoms constrain a single side and act as extra side filters.
+    bool IsCross() const { return lhs_tuple != rhs_tuple; }
+  };
+
   static StatusOr<BoundDenialConstraint> Bind(const DenialConstraint& dc,
                                               const Table& table);
 
   int arity() const { return arity_; }
+
+  /// All bound binary atoms, in declaration order.
+  const std::vector<CrossAtom>& cross_atoms() const { return binary_; }
+
+  /// Evaluates one binary atom on raw cell codes (NULL operands never hold,
+  /// matching CrossAtomsHold).
+  static bool CrossAtomHolds(const CrossAtom& a, int64_t lhs_cell,
+                             int64_t rhs_cell);
+
+  /// Raw code comparison under `op` (kIn never holds — it is unary-only).
+  /// The single source of operator semantics for DC evaluation; the indexed
+  /// conflict builder shares it for residual atom checks.
+  static bool CompareCodes(int64_t lhs, CompareOp op, int64_t rhs);
 
   /// True when the DC body φ holds for the *ordered* assignment rows[i] →
   /// tuple variable i (i.e. giving these rows one FK value would violate
@@ -102,20 +132,11 @@ class BoundDenialConstraint {
     std::vector<int64_t> rhs_set;
     bool never_matches;  // e.g. equality against a string absent from dict
   };
-  struct BoundBinary {
-    int lhs_tuple;
-    size_t lhs_col;
-    CompareOp op;
-    int rhs_tuple;
-    size_t rhs_col;
-    int64_t offset;
-  };
-
   static bool EvalUnary(const BoundUnary& a, int64_t cell);
 
   int arity_ = 2;
   std::vector<BoundUnary> unary_;
-  std::vector<BoundBinary> binary_;
+  std::vector<CrossAtom> binary_;
 };
 
 /// Convenience: binds every DC in `dcs` against `table`.

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace cextend {
 namespace {
+
+using CrossAtom = BoundDenialConstraint::CrossAtom;
 
 /// Recursively enumerates ordered assignments of distinct local vertices to
 /// the tuple variables of a k-ary DC, restricted to per-variable candidate
@@ -39,75 +43,447 @@ void EnumerateHyperedges(const Table& table,
   }
 }
 
+/// Expands every arity >= 3 DC into explicit hyperedges. Returns nullptr
+/// when no such DC produces an edge.
+StatusOr<std::shared_ptr<const Hypergraph>> BuildHigherArity(
+    const Table& table, const std::vector<BoundDenialConstraint>& dcs,
+    const std::vector<uint32_t>& rows, size_t max_hyperedge_candidates) {
+  size_t n = rows.size();
+  std::set<std::vector<int>> edges;
+  for (const BoundDenialConstraint& dc : dcs) {
+    if (dc.arity() == 2) continue;
+    std::vector<std::vector<size_t>> candidates(
+        static_cast<size_t>(dc.arity()));
+    size_t product = 1;
+    for (int var = 0; var < dc.arity(); ++var) {
+      for (size_t i = 0; i < n; ++i) {
+        if (dc.SideMatches(table, rows[i], var)) {
+          candidates[static_cast<size_t>(var)].push_back(i);
+        }
+      }
+      product *=
+          std::max<size_t>(1, candidates[static_cast<size_t>(var)].size());
+      if (product > max_hyperedge_candidates) {
+        return Status::ResourceExhausted(StrFormat(
+            "hyperedge enumeration for a %d-ary DC exceeds the candidate "
+            "cap (%zu)", dc.arity(), max_hyperedge_candidates));
+      }
+    }
+    std::vector<size_t> chosen;
+    std::vector<uint32_t> chosen_rows;
+    EnumerateHyperedges(table, dc, rows, candidates, chosen, chosen_rows,
+                        edges);
+  }
+  if (edges.empty()) return std::shared_ptr<const Hypergraph>();
+  auto higher = std::make_shared<Hypergraph>(n);
+  for (const std::vector<int>& e : edges) higher->AddEdge(e);
+  return std::shared_ptr<const Hypergraph>(std::move(higher));
+}
+
+// ---- Indexed pair materialization for binary DCs. ----
+
+CompareOp FlipOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;
+  }
+}
+
+/// A cross atom normalized to the (u = var 0, v = var 1) orientation: the
+/// atom holds for the ordered pair iff
+///   (code(u, u_col) + u_adj)  op  (code(v, v_col) + v_adj).
+struct OrientedAtom {
+  size_t u_col;
+  int64_t u_adj;
+  size_t v_col;
+  int64_t v_adj;
+  CompareOp op;
+
+  int64_t UKey(const Table& table, uint32_t row) const {
+    return table.GetCode(row, u_col) + u_adj;
+  }
+  int64_t VKey(const Table& table, uint32_t row) const {
+    return table.GetCode(row, v_col) + v_adj;
+  }
+  bool Holds(const Table& table, uint32_t u_row, uint32_t v_row) const {
+    return BoundDenialConstraint::CompareCodes(UKey(table, u_row), op,
+                                               VKey(table, v_row));
+  }
+};
+
+/// The per-DC index plan: cross atoms split by role. `eq` atoms define the
+/// hash-bucket key, the first `ord` atom the sorted run inside a bucket;
+/// everything else is verified per candidate pair.
+struct BinaryDcPlan {
+  std::vector<OrientedAtom> eq;     // kEq cross atoms -> bucket key
+  std::vector<OrientedAtom> ord;    // kLt/kLe/kGt/kGe cross atoms
+  std::vector<OrientedAtom> other;  // kNe (and unsupported-op) cross atoms
+  std::vector<CrossAtom> same0;     // same-tuple atoms on var 0
+  std::vector<CrossAtom> same1;     // same-tuple atoms on var 1
+
+  std::vector<OrientedAtom>& ClassOf(CompareOp op) {
+    if (op == CompareOp::kEq) return eq;
+    if (op == CompareOp::kLt || op == CompareOp::kLe ||
+        op == CompareOp::kGt || op == CompareOp::kGe) {
+      return ord;
+    }
+    // kNe and any op without index support (e.g. a stray binary kIn, which
+    // never holds) stay residual per-pair filters, matching CrossAtomsHold.
+    return other;
+  }
+};
+
+BinaryDcPlan PlanBinaryDc(const BoundDenialConstraint& dc) {
+  BinaryDcPlan plan;
+  for (const CrossAtom& a : dc.cross_atoms()) {
+    if (!a.IsCross()) {
+      (a.lhs_tuple == 0 ? plan.same0 : plan.same1).push_back(a);
+      continue;
+    }
+    OrientedAtom o;
+    if (a.lhs_tuple == 0) {
+      o = {a.lhs_col, 0, a.rhs_col, a.offset, a.op};
+    } else {
+      // code(v, lhs_col) op code(u, rhs_col) + offset, flipped around op.
+      o = {a.rhs_col, a.offset, a.lhs_col, 0, FlipOp(a.op)};
+    }
+    plan.ClassOf(o.op).push_back(o);
+  }
+  return plan;
+}
+
+/// True when local vertex `i` can play variable `var` of `dc`: unary side
+/// atoms hold, same-tuple binary atoms hold, and no column referenced by a
+/// cross atom is NULL (a NULL operand can never satisfy a cross atom).
+bool SideEligible(const Table& table, const BoundDenialConstraint& dc,
+                  const BinaryDcPlan& plan, uint32_t row, int var) {
+  if (!dc.SideMatches(table, row, var)) return false;
+  const std::vector<CrossAtom>& same = var == 0 ? plan.same0 : plan.same1;
+  for (const CrossAtom& a : same) {
+    if (!BoundDenialConstraint::CrossAtomHolds(
+            a, table.GetCode(row, a.lhs_col), table.GetCode(row, a.rhs_col)))
+      return false;
+  }
+  auto cols_non_null = [&](const std::vector<OrientedAtom>& atoms) {
+    for (const OrientedAtom& a : atoms) {
+      size_t col = var == 0 ? a.u_col : a.v_col;
+      if (table.GetCode(row, col) == kNullCode) return false;
+    }
+    return true;
+  };
+  return cols_non_null(plan.eq) && cols_non_null(plan.ord) &&
+         cols_non_null(plan.other);
+}
+
+/// Shared by both oracles: true when some hyperedge containing `v` has all
+/// of its other vertices in `same_color`.
+bool HyperedgeWouldViolate(const Hypergraph* higher, size_t v,
+                           const std::vector<size_t>& same_color) {
+  if (higher == nullptr) return false;
+  std::set<size_t> in_set(same_color.begin(), same_color.end());
+  for (int e : higher->incident_edges(v)) {
+    bool all_in = true;
+    for (int u : higher->edge(static_cast<size_t>(e))) {
+      if (static_cast<size_t>(u) == v) continue;
+      if (!in_set.contains(static_cast<size_t>(u))) {
+        all_in = false;
+        break;
+      }
+    }
+    if (all_in) return true;
+  }
+  return false;
+}
+
+uint64_t PackPair(size_t u, size_t v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | static_cast<uint64_t>(v);
+}
+
+/// Materializes every conflicting (unordered) pair of one binary DC into
+/// `pairs` (packed (u << 32) | v, u < v; duplicates allowed — deduplicated when
+/// the CSR graph is built). Every ordered pair (u = var 0, v = var 1) with
+/// u in side 0 and v in side 1 is covered, so both orientations of each
+/// unordered pair are tested exactly as the brute-force oracle does.
+Status EmitBinaryDcPairs(const Table& table, const BoundDenialConstraint& dc,
+                         const std::vector<uint32_t>& rows,
+                         size_t max_materialized_pairs,
+                         std::vector<uint64_t>* pairs) {
+  size_t n = rows.size();
+  if (n < 2) return Status::Ok();
+  BinaryDcPlan plan = PlanBinaryDc(dc);
+
+  std::vector<uint32_t> side0, side1;
+  std::vector<uint8_t> in0(n, 0), in1(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (SideEligible(table, dc, plan, rows[i], 0)) {
+      side0.push_back(static_cast<uint32_t>(i));
+      in0[i] = 1;
+    }
+    if (SideEligible(table, dc, plan, rows[i], 1)) {
+      side1.push_back(static_cast<uint32_t>(i));
+      in1[i] = 1;
+    }
+  }
+  if (side0.empty() || side1.empty()) return Status::Ok();
+
+  auto over_budget = [&]() -> Status {
+    return Status::ResourceExhausted(
+        StrFormat("materialized conflict pairs exceed the budget (%zu)",
+                  max_materialized_pairs));
+  };
+
+  // Fast path: no cross atoms at all (owner-owner style DCs) — the conflict
+  // set is the full side0 x side1 product; nothing to test per pair. The
+  // predicate is symmetric here, so the mirror orientation (v in side 0,
+  // u in side 1) would emit the identical packed pair; skip it up front
+  // instead of feeding duplicates to the dedup sort. The emission count is
+  // known in closed form, so an over-budget product bails out before
+  // reserving or pushing anything.
+  if (plan.eq.empty() && plan.ord.empty() && plan.other.empty()) {
+    uint64_t both = 0;  // vertices eligible on both sides
+    for (size_t i = 0; i < n; ++i) both += in0[i] && in1[i] ? 1 : 0;
+    // s0*s1 ordered pairs, minus the `both` diagonal hits, minus the
+    // C(both, 2) mirror duplicates the loop skips.
+    uint64_t emitted = static_cast<uint64_t>(side0.size()) *
+                           static_cast<uint64_t>(side1.size()) -
+                       both - both * (both - 1) / 2;
+    if (pairs->size() + emitted > max_materialized_pairs) {
+      return over_budget();
+    }
+    pairs->reserve(pairs->size() + static_cast<size_t>(emitted));
+    for (uint32_t u : side0) {
+      for (uint32_t v : side1) {
+        if (v == u || (v < u && in0[v] && in1[u])) continue;
+        pairs->push_back(PackPair(u, v));
+      }
+    }
+    return Status::Ok();
+  }
+
+  // Bucket side-1 vertices by the hash of their equality-atom keys (a single
+  // bucket when there are none); sort each bucket by the first ordering
+  // atom's key so the satisfying candidates form a contiguous run.
+  struct Entry {
+    int64_t sort_key;
+    uint32_t vert;
+  };
+  std::unordered_map<uint64_t, std::vector<Entry>> buckets;
+  buckets.reserve(side1.size());
+  for (uint32_t v : side1) {
+    uint32_t row = rows[v];
+    uint64_t h = 0;
+    for (const OrientedAtom& a : plan.eq) h = MixHash64(h, static_cast<uint64_t>(a.VKey(table, row)));
+    int64_t sk = plan.ord.empty() ? 0 : plan.ord[0].VKey(table, row);
+    buckets[h].push_back(Entry{sk, v});
+  }
+  if (!plan.ord.empty()) {
+    for (auto& [h, vec] : buckets) {
+      std::sort(vec.begin(), vec.end(), [](const Entry& a, const Entry& b) {
+        return a.sort_key < b.sort_key;
+      });
+    }
+  }
+
+  for (uint32_t u : side0) {
+    uint32_t u_row = rows[u];
+    uint64_t h = 0;
+    for (const OrientedAtom& a : plan.eq) h = MixHash64(h, static_cast<uint64_t>(a.UKey(table, u_row)));
+    auto it = buckets.find(h);
+    if (it == buckets.end()) continue;
+    const std::vector<Entry>& vec = it->second;
+
+    size_t lo = 0, hi = vec.size();
+    if (!plan.ord.empty()) {
+      // Predicate: u_key op v_sort_key. Narrow [lo, hi) to the satisfying
+      // run of the sorted bucket.
+      int64_t u_key = plan.ord[0].UKey(table, u_row);
+      auto key_less = [](const Entry& e, int64_t k) { return e.sort_key < k; };
+      auto key_greater = [](int64_t k, const Entry& e) {
+        return k < e.sort_key;
+      };
+      switch (plan.ord[0].op) {
+        case CompareOp::kLt:  // v_key > u_key
+          lo = static_cast<size_t>(
+              std::upper_bound(vec.begin(), vec.end(), u_key, key_greater) -
+              vec.begin());
+          break;
+        case CompareOp::kLe:  // v_key >= u_key
+          lo = static_cast<size_t>(
+              std::lower_bound(vec.begin(), vec.end(), u_key, key_less) -
+              vec.begin());
+          break;
+        case CompareOp::kGt:  // v_key < u_key
+          hi = static_cast<size_t>(
+              std::lower_bound(vec.begin(), vec.end(), u_key, key_less) -
+              vec.begin());
+          break;
+        case CompareOp::kGe:  // v_key <= u_key
+          hi = static_cast<size_t>(
+              std::upper_bound(vec.begin(), vec.end(), u_key, key_greater) -
+              vec.begin());
+          break;
+        default:
+          break;
+      }
+    }
+
+    for (size_t idx = lo; idx < hi; ++idx) {
+      uint32_t v = vec[idx].vert;
+      if (v == u) continue;
+      uint32_t v_row = rows[v];
+      bool ok = true;
+      // Equality atoms re-verified to absorb hash collisions; ordering atoms
+      // beyond the first and != atoms are genuine residual filters.
+      for (const OrientedAtom& a : plan.eq) {
+        if (!a.Holds(table, u_row, v_row)) {
+          ok = false;
+          break;
+        }
+      }
+      for (size_t k = 1; ok && k < plan.ord.size(); ++k) {
+        if (!plan.ord[k].Holds(table, u_row, v_row)) ok = false;
+      }
+      for (const OrientedAtom& a : plan.other) {
+        if (!ok) break;
+        if (!a.Holds(table, u_row, v_row)) ok = false;
+      }
+      if (ok) pairs->push_back(PackPair(u, v));
+    }
+    if (pairs->size() > max_materialized_pairs) return over_budget();
+  }
+  return Status::Ok();
+}
+
 }  // namespace
+
+// ---- PartitionConflictOracle (indexed). ----
 
 StatusOr<PartitionConflictOracle> PartitionConflictOracle::Build(
     const Table& table, const std::vector<BoundDenialConstraint>& dcs,
-    std::vector<uint32_t> rows, size_t max_hyperedge_candidates) {
+    std::vector<uint32_t> rows, const ConflictOracleOptions& options) {
+  CEXTEND_ASSIGN_OR_RETURN(
+      std::shared_ptr<const Hypergraph> higher,
+      BuildHigherArity(table, dcs, rows, options.max_hyperedge_candidates));
+  return BuildWithHypergraph(table, dcs, std::move(rows), options,
+                             std::move(higher));
+}
+
+StatusOr<PartitionConflictOracle> PartitionConflictOracle::BuildWithHypergraph(
+    const Table& table, const std::vector<BoundDenialConstraint>& dcs,
+    std::vector<uint32_t> rows, const ConflictOracleOptions& options,
+    std::shared_ptr<const Hypergraph> higher) {
   PartitionConflictOracle oracle;
+  oracle.rows_ = std::move(rows);
+  oracle.higher_ = std::move(higher);
+  size_t n = oracle.rows_.size();
+
+  std::vector<uint64_t> pairs;
+  for (const BoundDenialConstraint& dc : dcs) {
+    if (dc.arity() != 2) continue;
+    CEXTEND_RETURN_IF_ERROR(EmitBinaryDcPairs(
+        table, dc, oracle.rows_, options.max_materialized_pairs, &pairs));
+  }
+  oracle.adjacency_ = AdjacencyGraph::FromPackedPairs(n, std::move(pairs));
+
+  oracle.degrees_.assign(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    oracle.degrees_[v] = oracle.adjacency_.Degree(v);
+    if (oracle.higher_ != nullptr)
+      oracle.degrees_[v] += oracle.higher_->Degree(v);
+  }
+  oracle.num_edges_ =
+      oracle.adjacency_.num_edges() +
+      (oracle.higher_ == nullptr ? 0 : oracle.higher_->num_edges());
+  return oracle;
+}
+
+void PartitionConflictOracle::AppendForbiddenColors(
+    size_t v, const std::vector<int64_t>& colors,
+    std::vector<int64_t>* out) const {
+  constexpr int64_t kNone = INT64_MIN;
+  for (const uint32_t* p = adjacency_.NeighborsBegin(v),
+                     * end = adjacency_.NeighborsEnd(v);
+       p != end; ++p) {
+    int64_t c = colors[*p];
+    if (c != kNone) out->push_back(c);
+  }
+  if (higher_ != nullptr) higher_->AppendForbiddenColors(v, colors, out);
+}
+
+bool PartitionConflictOracle::WouldViolate(
+    size_t v, const std::vector<size_t>& same_color) const {
+  for (size_t u : same_color) {
+    if (u != v && adjacency_.HasEdge(v, u)) return true;
+  }
+  return HyperedgeWouldViolate(higher_.get(), v, same_color);
+}
+
+// ---- NaiveConflictOracle (brute force, reference). ----
+
+StatusOr<NaiveConflictOracle> NaiveConflictOracle::Build(
+    const Table& table, const std::vector<BoundDenialConstraint>& dcs,
+    std::vector<uint32_t> rows, const ConflictOracleOptions& options) {
+  CEXTEND_ASSIGN_OR_RETURN(
+      std::shared_ptr<const Hypergraph> higher,
+      BuildHigherArity(table, dcs, rows, options.max_hyperedge_candidates));
+  return BuildWithHypergraph(table, dcs, std::move(rows), options,
+                             std::move(higher));
+}
+
+StatusOr<NaiveConflictOracle> NaiveConflictOracle::BuildWithHypergraph(
+    const Table& table, const std::vector<BoundDenialConstraint>& dcs,
+    std::vector<uint32_t> rows, const ConflictOracleOptions& /*options*/,
+    std::shared_ptr<const Hypergraph> higher) {
+  NaiveConflictOracle oracle;
   oracle.table_ = &table;
   oracle.rows_ = std::move(rows);
+  oracle.higher_ = std::move(higher);
   size_t n = oracle.rows_.size();
   oracle.degrees_.assign(n, 0);
 
-  std::set<std::vector<int>> higher_edges;
   for (const BoundDenialConstraint& dc : dcs) {
-    if (dc.arity() == 2) {
-      BinaryDc b;
-      b.dc = &dc;
-      b.side0.resize(n);
-      b.side1.resize(n);
-      for (size_t i = 0; i < n; ++i) {
-        b.side0[i] = dc.SideMatches(table, oracle.rows_[i], 0) ? 1 : 0;
-        b.side1[i] = dc.SideMatches(table, oracle.rows_[i], 1) ? 1 : 0;
-      }
-      oracle.binary_.push_back(std::move(b));
-    } else {
-      // Explicit enumeration for arity >= 3.
-      std::vector<std::vector<size_t>> candidates(
-          static_cast<size_t>(dc.arity()));
-      size_t product = 1;
-      for (int var = 0; var < dc.arity(); ++var) {
-        for (size_t i = 0; i < n; ++i) {
-          if (dc.SideMatches(table, oracle.rows_[i], var)) {
-            candidates[static_cast<size_t>(var)].push_back(i);
-          }
-        }
-        product *= std::max<size_t>(1, candidates[static_cast<size_t>(var)].size());
-        if (product > max_hyperedge_candidates) {
-          return Status::ResourceExhausted(StrFormat(
-              "hyperedge enumeration for a %d-ary DC exceeds the candidate "
-              "cap (%zu)", dc.arity(), max_hyperedge_candidates));
-        }
-      }
-      std::vector<size_t> chosen;
-      std::vector<uint32_t> chosen_rows;
-      EnumerateHyperedges(table, dc, oracle.rows_, candidates, chosen,
-                          chosen_rows, higher_edges);
+    if (dc.arity() != 2) continue;
+    BinaryDc b;
+    b.dc = &dc;
+    b.side0.resize(n);
+    b.side1.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      b.side0[i] = dc.SideMatches(table, oracle.rows_[i], 0) ? 1 : 0;
+      b.side1[i] = dc.SideMatches(table, oracle.rows_[i], 1) ? 1 : 0;
     }
-  }
-  if (!higher_edges.empty()) {
-    oracle.higher_ = std::make_unique<Hypergraph>(n);
-    for (const std::vector<int>& e : higher_edges) oracle.higher_->AddEdge(e);
+    oracle.binary_.push_back(std::move(b));
   }
 
-  // Degrees: pairwise scan for binary DCs (no edge storage) + hypergraph.
+  // Degrees + edge count in one pairwise scan (no edge storage).
+  size_t pair_edges = 0;
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {
       if (oracle.PairConflicts(i, j)) {
         ++oracle.degrees_[i];
         ++oracle.degrees_[j];
+        ++pair_edges;
       }
     }
   }
+  oracle.num_edges_ = pair_edges;
   if (oracle.higher_ != nullptr) {
     for (size_t v = 0; v < n; ++v)
       oracle.degrees_[v] += oracle.higher_->Degree(v);
+    oracle.num_edges_ += oracle.higher_->num_edges();
   }
   return oracle;
 }
 
-bool PartitionConflictOracle::PairConflicts(size_t u, size_t v) const {
+bool NaiveConflictOracle::PairConflicts(size_t u, size_t v) const {
   for (const BinaryDc& b : binary_) {
     if (b.side0[u] && b.side1[v] &&
         b.dc->CrossAtomsHold(*table_, {rows_[u], rows_[v]})) {
@@ -121,7 +497,7 @@ bool PartitionConflictOracle::PairConflicts(size_t u, size_t v) const {
   return false;
 }
 
-void PartitionConflictOracle::AppendForbiddenColors(
+void NaiveConflictOracle::AppendForbiddenColors(
     size_t v, const std::vector<int64_t>& colors,
     std::vector<int64_t>* out) const {
   constexpr int64_t kNone = INT64_MIN;
@@ -133,37 +509,48 @@ void PartitionConflictOracle::AppendForbiddenColors(
   if (higher_ != nullptr) higher_->AppendForbiddenColors(v, colors, out);
 }
 
-bool PartitionConflictOracle::WouldViolate(
+bool NaiveConflictOracle::WouldViolate(
     size_t v, const std::vector<size_t>& same_color) const {
   for (size_t u : same_color) {
     if (u != v && PairConflicts(u, v)) return true;
   }
-  if (higher_ != nullptr) {
-    // Check hyperedges containing v whose other vertices are all in the set.
-    std::set<size_t> in_set(same_color.begin(), same_color.end());
-    for (int e : higher_->incident_edges(v)) {
-      bool all_in = true;
-      for (int u : higher_->edge(static_cast<size_t>(e))) {
-        if (static_cast<size_t>(u) == v) continue;
-        if (!in_set.contains(static_cast<size_t>(u))) {
-          all_in = false;
-          break;
-        }
-      }
-      if (all_in) return true;
-    }
-  }
-  return false;
+  return HyperedgeWouldViolate(higher_.get(), v, same_color);
 }
 
-size_t PartitionConflictOracle::CountEdges() const {
-  size_t count = higher_ == nullptr ? 0 : higher_->num_edges();
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    for (size_t j = i + 1; j < rows_.size(); ++j) {
-      if (PairConflicts(i, j)) ++count;
+// ---- Factory with fallback. ----
+
+StatusOr<std::unique_ptr<PartitionOracle>> BuildPartitionOracle(
+    const Table& table, const std::vector<BoundDenialConstraint>& dcs,
+    std::vector<uint32_t> rows, const ConflictOracleOptions& options) {
+  // Hyperedges are enumerated once up front and shared: a cap failure here
+  // is terminal (the naive oracle would hit the identical cap), and a
+  // later kResourceExhausted from the indexed build can only mean the pair
+  // budget, which the naive fallback does not need.
+  CEXTEND_ASSIGN_OR_RETURN(
+      std::shared_ptr<const Hypergraph> higher,
+      BuildHigherArity(table, dcs, rows, options.max_hyperedge_candidates));
+  if (!options.force_naive) {
+    StatusOr<PartitionConflictOracle> indexed =
+        PartitionConflictOracle::BuildWithHypergraph(table, dcs, rows,
+                                                     options, higher);
+    if (indexed.ok()) {
+      std::unique_ptr<PartitionOracle> oracle =
+          std::make_unique<PartitionConflictOracle>(
+              std::move(indexed).value());
+      return oracle;
     }
+    if (indexed.status().code() != StatusCode::kResourceExhausted) {
+      return indexed.status();
+    }
+    // Pair budget exceeded: fall back to the O(n) memory brute-force oracle.
   }
-  return count;
+  CEXTEND_ASSIGN_OR_RETURN(
+      NaiveConflictOracle naive,
+      NaiveConflictOracle::BuildWithHypergraph(table, dcs, std::move(rows),
+                                               options, std::move(higher)));
+  std::unique_ptr<PartitionOracle> oracle =
+      std::make_unique<NaiveConflictOracle>(std::move(naive));
+  return oracle;
 }
 
 }  // namespace cextend

@@ -2,11 +2,24 @@
 //
 // All rows of a partition share their (B1..Bq) values, hence their candidate
 // FK list; a hyperedge connects every tuple set that would violate a DC body
-// if co-assigned. Binary DCs are handled *without materializing edges*: side
-// predicates are precomputed per vertex and pairs are tested on the fly
-// (degrees once at construction, forbidden colors per coloring step). DCs of
-// arity >= 3 are expanded into an explicit hypergraph. Both paths plug into
-// the same ConflictOracle interface, so coloring semantics match the paper.
+// if co-assigned. Two interchangeable oracles implement the pairwise layer:
+//
+//  * PartitionConflictOracle (default): an *indexed* builder. For each binary
+//    DC the side-0/side-1 matching vertices are bucketed by the codes of the
+//    columns appearing in its cross-atom equality predicates (hash buckets),
+//    each bucket is sorted by the first ordering atom's key (sorted runs for
+//    < / <= / > / >=), and adjacency is materialized per bucket instead of
+//    per pair. The union over DCs is deduplicated into a CSR AdjacencyGraph,
+//    so degrees, edge counts, forbidden colors and pair queries never rescan
+//    the partition. Construction is O(n log n + E) per DC instead of the
+//    brute-force O(n^2 * |DC|) all-pairs CrossAtomsHold scan.
+//
+//  * NaiveConflictOracle: the reference brute-force implementation (side
+//    masks + on-the-fly pair tests). Kept behind the same interface so tests
+//    and benchmarks can cross-check the indexed oracle bit-for-bit, and as a
+//    fallback when materialized adjacency would exceed the pair budget.
+//
+// DCs of arity >= 3 are expanded into an explicit hypergraph by both oracles.
 
 #ifndef CEXTEND_CORE_CONFLICT_H_
 #define CEXTEND_CORE_CONFLICT_H_
@@ -22,18 +35,60 @@
 
 namespace cextend {
 
-class PartitionConflictOracle : public ConflictOracle {
+struct ConflictOracleOptions {
+  /// Edge enumeration for arity >= 3 DCs is capped at this many candidate
+  /// assignments (guard against pathological inputs); exceeding it fails.
+  size_t max_hyperedge_candidates = 50'000'000;
+  /// The indexed oracle materializes at most this many (pre-dedup) pairwise
+  /// edges (8 bytes each). Exceeding it fails with kResourceExhausted;
+  /// BuildPartitionOracle then falls back to the naive oracle, which needs
+  /// O(n) memory at the price of O(n^2) queries.
+  size_t max_materialized_pairs = 32'000'000;
+  /// Forces the brute-force oracle (benchmarks / cross-checking).
+  bool force_naive = false;
+};
+
+/// ConflictOracle plus the pairwise and set queries phase II needs.
+/// Implemented by both the indexed and the brute-force oracle so they are
+/// interchangeable and cross-checkable.
+class PartitionOracle : public ConflictOracle {
+ public:
+  /// v_join/R1 row ids forming the partition (local vertex v = rows()[v]).
+  virtual const std::vector<uint32_t>& rows() const = 0;
+
+  /// True when local vertices u, v conflict under some binary DC (used when
+  /// inserting invalid tuples into an already-colored partition).
+  virtual bool PairConflicts(size_t u, size_t v) const = 0;
+
+  /// True when assigning `v` the same color as the already-colored vertices
+  /// in `same_color` (local ids) would violate any DC.
+  virtual bool WouldViolate(size_t v,
+                            const std::vector<size_t>& same_color) const = 0;
+
+  /// Total pairwise edges plus explicit hyperedges (cached at construction).
+  virtual size_t CountEdges() const = 0;
+};
+
+/// Indexed conflict oracle: materialized, deduplicated CSR adjacency for
+/// binary DCs + explicit hypergraph for arity >= 3.
+class PartitionConflictOracle final : public PartitionOracle {
  public:
   /// `rows` are v_join/R1 row ids forming the partition. `dcs` must be bound
-  /// against `table`. Edge enumeration for arity >= 3 DCs is capped at
-  /// `max_hyperedge_candidates` candidate assignments (guard against
-  /// pathological inputs); exceeding the cap fails.
+  /// against `table`.
   static StatusOr<PartitionConflictOracle> Build(
       const Table& table, const std::vector<BoundDenialConstraint>& dcs,
-      std::vector<uint32_t> rows,
-      size_t max_hyperedge_candidates = 50'000'000);
+      std::vector<uint32_t> rows, const ConflictOracleOptions& options = {});
 
-  const std::vector<uint32_t>& rows() const { return rows_; }
+  /// Build with a prebuilt arity >= 3 hypergraph (may be null). Lets
+  /// BuildPartitionOracle enumerate hyperedges once and share them with a
+  /// naive fallback attempt; a kResourceExhausted from this overload always
+  /// means the pair budget.
+  static StatusOr<PartitionConflictOracle> BuildWithHypergraph(
+      const Table& table, const std::vector<BoundDenialConstraint>& dcs,
+      std::vector<uint32_t> rows, const ConflictOracleOptions& options,
+      std::shared_ptr<const Hypergraph> higher);
+
+  const std::vector<uint32_t>& rows() const override { return rows_; }
 
   // ConflictOracle:
   size_t NumVertices() const override { return rows_.size(); }
@@ -41,19 +96,58 @@ class PartitionConflictOracle : public ConflictOracle {
   void AppendForbiddenColors(size_t v, const std::vector<int64_t>& colors,
                              std::vector<int64_t>* out) const override;
 
-  /// True when local vertices u, v conflict under some binary DC (used when
-  /// inserting invalid tuples into an already-colored partition).
-  bool PairConflicts(size_t u, size_t v) const;
+  // PartitionOracle:
+  bool PairConflicts(size_t u, size_t v) const override {
+    return adjacency_.HasEdge(u, v);
+  }
+  bool WouldViolate(size_t v,
+                    const std::vector<size_t>& same_color) const override;
+  size_t CountEdges() const override { return num_edges_; }
 
-  /// True when assigning `v` the same color as the already-colored vertices
-  /// in `same_color` (local ids) would violate any DC.
-  bool WouldViolate(size_t v, const std::vector<size_t>& same_color) const;
-
-  /// Total implicit pairwise edges plus explicit hyperedges (for stats).
-  size_t CountEdges() const;
+  const AdjacencyGraph& adjacency() const { return adjacency_; }
 
  private:
   PartitionConflictOracle() = default;
+
+  std::vector<uint32_t> rows_;
+  AdjacencyGraph adjacency_;  // deduplicated binary-DC edges
+  // Arity >= 3 edges (local vertex ids); shareable with a fallback oracle.
+  std::shared_ptr<const Hypergraph> higher_;
+  std::vector<int64_t> degrees_;  // adjacency + hypergraph degrees
+  size_t num_edges_ = 0;          // binary + hyper, cached
+};
+
+/// Reference brute-force oracle: per-vertex side masks, pairs tested on the
+/// fly. O(n) memory; O(n * |DC|) per forbidden-color query.
+class NaiveConflictOracle final : public PartitionOracle {
+ public:
+  static StatusOr<NaiveConflictOracle> Build(
+      const Table& table, const std::vector<BoundDenialConstraint>& dcs,
+      std::vector<uint32_t> rows, const ConflictOracleOptions& options = {});
+
+  /// Build with a prebuilt arity >= 3 hypergraph (may be null); see
+  /// PartitionConflictOracle::BuildWithHypergraph.
+  static StatusOr<NaiveConflictOracle> BuildWithHypergraph(
+      const Table& table, const std::vector<BoundDenialConstraint>& dcs,
+      std::vector<uint32_t> rows, const ConflictOracleOptions& options,
+      std::shared_ptr<const Hypergraph> higher);
+
+  const std::vector<uint32_t>& rows() const override { return rows_; }
+
+  // ConflictOracle:
+  size_t NumVertices() const override { return rows_.size(); }
+  int64_t Degree(size_t v) const override { return degrees_[v]; }
+  void AppendForbiddenColors(size_t v, const std::vector<int64_t>& colors,
+                             std::vector<int64_t>* out) const override;
+
+  // PartitionOracle:
+  bool PairConflicts(size_t u, size_t v) const override;
+  bool WouldViolate(size_t v,
+                    const std::vector<size_t>& same_color) const override;
+  size_t CountEdges() const override { return num_edges_; }
+
+ private:
+  NaiveConflictOracle() = default;
 
   const Table* table_ = nullptr;
   std::vector<uint32_t> rows_;
@@ -64,9 +158,17 @@ class PartitionConflictOracle : public ConflictOracle {
     std::vector<uint8_t> side1;
   };
   std::vector<BinaryDc> binary_;
-  std::unique_ptr<Hypergraph> higher_;  // arity >= 3 edges (local vertex ids)
+  // Arity >= 3 edges (local vertex ids); shareable with the indexed oracle.
+  std::shared_ptr<const Hypergraph> higher_;
   std::vector<int64_t> degrees_;
+  size_t num_edges_ = 0;  // cached during the construction degree scan
 };
+
+/// Builds the indexed oracle, falling back to the naive oracle when the
+/// materialized-pair budget is exceeded (or when `options.force_naive`).
+StatusOr<std::unique_ptr<PartitionOracle>> BuildPartitionOracle(
+    const Table& table, const std::vector<BoundDenialConstraint>& dcs,
+    std::vector<uint32_t> rows, const ConflictOracleOptions& options = {});
 
 }  // namespace cextend
 

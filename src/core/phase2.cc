@@ -1,12 +1,12 @@
 #include "core/phase2.h"
 
 #include <algorithm>
-#include <map>
 #include <mutex>
 #include <unordered_map>
 
 #include "core/conflict.h"
 #include "graph/list_coloring.h"
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -20,6 +20,11 @@ struct Partition {
   std::vector<uint32_t> rows;        // v_join row ids
   std::vector<int64_t> candidates;   // existing K2 keys with this combo
 };
+
+/// B-combo vectors hash with the shared splitmix64 mix, so partition and
+/// candidate grouping are single-pass hashed lookups instead of ordered-map
+/// traversals with O(q) lexicographic compares per node.
+using ComboHash = CodeVectorHash;
 
 }  // namespace
 
@@ -47,7 +52,10 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
   for (uint32_t r : invalid_rows) is_invalid[r] = 1;
 
   // ---- Partition V_join by B values (Section 5.2 optimization). ----
-  std::map<std::vector<int64_t>, Partition> partitions;
+  // Partitions live in a vector (insertion order = first-row order, so the
+  // layout is deterministic); the hashed index gives O(1) amortized lookups.
+  std::vector<Partition> partitions;
+  std::unordered_map<std::vector<int64_t>, size_t, ComboHash> partition_index;
   {
     ScopedTimer timer(&stats.partition_seconds);
     std::vector<int64_t> key(b_cols_v.size());
@@ -56,12 +64,12 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
       for (size_t i = 0; i < b_cols_v.size(); ++i) {
         key[i] = v_join.GetCode(r, b_cols_v[i]);
       }
-      Partition& p = partitions[key];
-      if (p.rows.empty()) p.combo = key;
-      p.rows.push_back(static_cast<uint32_t>(r));
+      auto [it, inserted] = partition_index.try_emplace(key, partitions.size());
+      if (inserted) partitions.push_back(Partition{key, {}, {}});
+      partitions[it->second].rows.push_back(static_cast<uint32_t>(r));
     }
-    // Candidate keys per partition from R2.
-    std::map<std::vector<int64_t>, std::vector<int64_t>> combo_keys;
+    // Candidate keys per partition from R2, attached in a single hashed pass
+    // (combos absent from V_join are simply skipped).
     std::vector<int64_t> r2key(b_cols_v.size());
     std::vector<size_t> b_cols_r2;
     for (const std::string& b : names.r2_attrs) {
@@ -71,14 +79,13 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
       for (size_t i = 0; i < b_cols_r2.size(); ++i) {
         r2key[i] = r2.GetCode(r, b_cols_r2[i]);
       }
-      combo_keys[r2key].push_back(r2.GetCode(r, k2_col));
-    }
-    for (auto& [combo, p] : partitions) {
-      auto it = combo_keys.find(combo);
-      if (it != combo_keys.end()) {
-        p.candidates = it->second;
-        std::sort(p.candidates.begin(), p.candidates.end());
+      auto it = partition_index.find(r2key);
+      if (it != partition_index.end()) {
+        partitions[it->second].candidates.push_back(r2.GetCode(r, k2_col));
       }
+    }
+    for (Partition& p : partitions) {
+      std::sort(p.candidates.begin(), p.candidates.end());
     }
     stats.num_partitions = partitions.size();
   }
@@ -113,13 +120,17 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
   // ---- Color each partition (Algorithm 4 lines 2-15). ----
   std::vector<Partition*> worklist;
   worklist.reserve(partitions.size());
-  for (auto& [combo, p] : partitions) worklist.push_back(&p);
+  for (Partition& p : partitions) worklist.push_back(&p);
   // Large partitions first: better load balance under parallelism and
-  // deterministic order when sequential.
+  // deterministic order when sequential (stable sort keeps the insertion
+  // order of equal-size partitions).
   std::stable_sort(worklist.begin(), worklist.end(),
                    [](const Partition* a, const Partition* b) {
                      return a->rows.size() > b->rows.size();
                    });
+
+  ConflictOracleOptions oracle_options;
+  oracle_options.force_naive = options.use_naive_oracle;
 
   Status first_error = Status::Ok();
   std::mutex error_mu;
@@ -139,13 +150,13 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
       return;
     }
     auto oracle_or =
-        PartitionConflictOracle::Build(v_join, bound_dcs, p.rows);
+        BuildPartitionOracle(v_join, bound_dcs, p.rows, oracle_options);
     if (!oracle_or.ok()) {
       std::unique_lock<std::mutex> lock(error_mu);
       if (first_error.ok()) first_error = oracle_or.status();
       return;
     }
-    const PartitionConflictOracle& oracle = oracle_or.value();
+    const PartitionOracle& oracle = *oracle_or.value();
     ListColoringResult coloring =
         GreedyListColoring(oracle, {}, p.candidates);
     size_t skipped_here = coloring.skipped.size();
@@ -209,8 +220,10 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
         for (size_t i : match) cc_combo[c][i] = 1;
       }
       // Rows already colored per (combo, key), for conflict checks.
-      std::map<std::vector<int64_t>, std::unordered_map<int64_t,
-          std::vector<uint32_t>>> colored_by_combo_key;
+      std::unordered_map<std::vector<int64_t>,
+                         std::unordered_map<int64_t, std::vector<uint32_t>>,
+                         ComboHash>
+          colored_by_combo_key;
       {
         std::vector<int64_t> key(b_cols_v.size());
         for (size_t r = 0; r < v_join.NumRows(); ++r) {
@@ -261,16 +274,11 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
             if (ok) {
               for (const BoundDenialConstraint& dc : bound_dcs) {
                 if (dc.arity() == 2) continue;
-                std::vector<uint32_t> bucket = it->second;
-                bucket.push_back(row);
-                if (bucket.size() >= static_cast<size_t>(dc.arity())) {
-                  // Any arity-sized subset containing `row`.
-                  // Small buckets in practice; test all subsets.
-                  std::vector<uint32_t> subset(
-                      static_cast<size_t>(dc.arity()));
-                  std::vector<size_t> idxs(
-                      static_cast<size_t>(dc.arity() - 1));
-                  // Simple double loop for arity 3 (the shipped maximum).
+                if (it->second.size() + 1 >=
+                    static_cast<size_t>(dc.arity())) {
+                  // Any arity-sized subset containing `row`. Small buckets
+                  // in practice; simple double loop for arity 3 (the
+                  // shipped maximum).
                   if (dc.arity() == 3) {
                     for (size_t a = 0; a < it->second.size() && ok; ++a) {
                       for (size_t b = a + 1; b < it->second.size() && ok;
@@ -283,8 +291,6 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
                       }
                     }
                   }
-                  (void)subset;
-                  (void)idxs;
                 }
                 if (!ok) break;
               }
@@ -317,8 +323,9 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
   }
   std::sort(new_tuples.begin(), new_tuples.end(),
             [](const NewTuple& a, const NewTuple& b) { return a.key < b.key; });
+  std::vector<int64_t> codes(r2.schema().NumColumns());
   for (const NewTuple& t : new_tuples) {
-    std::vector<int64_t> codes(r2.schema().NumColumns(), kNullCode);
+    codes.assign(r2.schema().NumColumns(), kNullCode);
     codes[k2_col] = t.key;
     for (size_t i = 0; i < b_cols_r2.size(); ++i) {
       codes[b_cols_r2[i]] = t.combo[i];

@@ -30,6 +30,9 @@ struct Phase2Options {
   /// Number of worker threads for partition coloring (1 = sequential).
   size_t num_threads = 1;
   uint64_t seed = 1;
+  /// Forces the brute-force conflict oracle instead of the indexed one
+  /// (cross-checking / ablation; both yield identical colorings).
+  bool use_naive_oracle = false;
 };
 
 struct Phase2Stats {

@@ -1,8 +1,47 @@
 #include "graph/hypergraph.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace cextend {
+
+AdjacencyGraph AdjacencyGraph::FromPackedPairs(
+    size_t n, std::vector<uint64_t>&& packed_pairs) {
+  std::sort(packed_pairs.begin(), packed_pairs.end());
+  packed_pairs.erase(
+      std::unique(packed_pairs.begin(), packed_pairs.end()),
+      packed_pairs.end());
+
+  AdjacencyGraph g;
+  g.offsets_.assign(n + 1, 0);
+  for (uint64_t p : packed_pairs) {
+    size_t u = static_cast<size_t>(p >> 32);
+    size_t v = static_cast<size_t>(p & 0xFFFFFFFFULL);
+    CEXTEND_DCHECK(u < v && v < n);
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (size_t i = 1; i <= n; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.neighbors_.resize(packed_pairs.size() * 2);
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (uint64_t p : packed_pairs) {
+    size_t u = static_cast<size_t>(p >> 32);
+    size_t v = static_cast<size_t>(p & 0xFFFFFFFFULL);
+    g.neighbors_[cursor[u]++] = static_cast<uint32_t>(v);
+    g.neighbors_[cursor[v]++] = static_cast<uint32_t>(u);
+  }
+  // Neighbor runs come out sorted without a per-row pass: scanning the
+  // (u, v)-sorted unique pairs, row x first collects its lower neighbors u
+  // in ascending order (every (u, x) precedes (x, ·) lexicographically) and
+  // then its higher neighbors v in ascending order within the (x, ·) run.
+  return g;
+}
+
+bool AdjacencyGraph::HasEdge(size_t u, size_t v) const {
+  return std::binary_search(NeighborsBegin(u), NeighborsEnd(u),
+                            static_cast<uint32_t>(v));
+}
 
 Hypergraph::Hypergraph(size_t num_vertices) : incident_(num_vertices) {}
 

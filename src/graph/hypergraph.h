@@ -33,6 +33,44 @@ class ConflictOracle {
                                      std::vector<int64_t>* out) const = 0;
 };
 
+/// Compressed-sparse-row simple graph over vertices 0..n-1, built once from
+/// an unsorted multiset of pair edges. Duplicate pairs (e.g. the same pair
+/// conflicting under several DCs, or both orientations of one DC) collapse
+/// to a single edge, so degrees and edge counts are simple-graph semantics.
+/// Neighbor lists are sorted, enabling O(log deg) membership tests.
+class AdjacencyGraph {
+ public:
+  AdjacencyGraph() = default;
+
+  /// `packed_pairs` holds edges encoded as (u << 32) | v with u < v < n
+  /// (n < 2^32). The vector is consumed (sorted + deduplicated in place) to
+  /// avoid a copy on the hot construction path.
+  static AdjacencyGraph FromPackedPairs(size_t n,
+                                        std::vector<uint64_t>&& packed_pairs);
+
+  size_t num_vertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  size_t num_edges() const { return neighbors_.size() / 2; }
+
+  int64_t Degree(size_t v) const {
+    return static_cast<int64_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbor run of `v` as [begin, end) into a contiguous array.
+  const uint32_t* NeighborsBegin(size_t v) const {
+    return neighbors_.data() + offsets_[v];
+  }
+  const uint32_t* NeighborsEnd(size_t v) const {
+    return neighbors_.data() + offsets_[v + 1];
+  }
+
+  /// O(log deg(u)) membership test.
+  bool HasEdge(size_t u, size_t v) const;
+
+ private:
+  std::vector<size_t> offsets_;     // n + 1 entries
+  std::vector<uint32_t> neighbors_; // 2 * num_edges entries, sorted per row
+};
+
 /// Explicitly stored hypergraph (vertices 0..n-1; edges of arity >= 2).
 class Hypergraph : public ConflictOracle {
  public:

@@ -1,7 +1,7 @@
 #include "graph/list_coloring.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "util/logging.h"
 
@@ -31,19 +31,45 @@ ListColoringResult GreedyListColoring(const ConflictOracle& oracle,
            oracle.Degree(static_cast<size_t>(b));
   });
 
+  // Candidate values -> dense indices, built once; per vertex the forbidden
+  // candidates are epoch-stamped instead of rebuilding a hash set, so one
+  // coloring step costs O(|forbidden| + scan-to-first-free) with zero
+  // allocations on the hot path.
+  std::unordered_map<int64_t, size_t> candidate_index;
+  candidate_index.reserve(candidates.size());
+  // rep[i]: index of the first occurrence of candidates[i], so duplicate
+  // values share one mark slot.
+  std::vector<size_t> rep(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    rep[i] = candidate_index.emplace(candidates[i], i).first->second;
+  }
+  std::vector<uint32_t> forbidden_mark(candidates.size(), 0);
+  uint32_t epoch = 0;
+
   std::vector<int64_t> forbidden_list;
-  std::unordered_set<int64_t> forbidden;
   for (int v : order) {
     forbidden_list.clear();
     oracle.AppendForbiddenColors(static_cast<size_t>(v), result.colors,
                                  &forbidden_list);
-    forbidden.clear();
-    forbidden.insert(forbidden_list.begin(), forbidden_list.end());
+    ++epoch;
+    size_t num_forbidden = 0;
+    for (int64_t c : forbidden_list) {
+      auto it = candidate_index.find(c);
+      // Colors outside the candidate list (e.g. assigned by an earlier pass
+      // over a different list) cannot be chosen anyway.
+      if (it == candidate_index.end()) continue;
+      if (forbidden_mark[it->second] != epoch) {
+        forbidden_mark[it->second] = epoch;
+        ++num_forbidden;
+      }
+    }
     int64_t chosen = kNoColor;
-    for (int64_t c : candidates) {
-      if (!forbidden.contains(c)) {
-        chosen = c;
-        break;
+    if (num_forbidden < candidate_index.size()) {
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (forbidden_mark[rep[i]] != epoch) {
+          chosen = candidates[i];
+          break;
+        }
       }
     }
     if (chosen == kNoColor) {

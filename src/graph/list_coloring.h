@@ -5,6 +5,12 @@
 // vertices share a color. Vertices with an exhausted candidate list are
 // skipped and returned to the caller (Algorithm 4 colors them with fresh
 // colors, which corresponds to inserting new tuples into R2).
+//
+// Forbidden colors are tracked with an epoch-stamped mark vector keyed by
+// candidate index (no per-vertex set rebuild), so one step costs
+// O(|forbidden(v)| + scan-to-first-free colors); with the indexed conflict
+// oracle a whole pass is O(sum of degrees + n * first-free scans) instead of
+// the previous O(n^2 * |DC|).
 
 #ifndef CEXTEND_GRAPH_LIST_COLORING_H_
 #define CEXTEND_GRAPH_LIST_COLORING_H_

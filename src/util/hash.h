@@ -1,0 +1,32 @@
+// Shared non-cryptographic hashing helpers.
+
+#ifndef CEXTEND_UTIL_HASH_H_
+#define CEXTEND_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cextend {
+
+/// Folds `x` into the running hash `h` with the splitmix64 finalizer. Used
+/// for composite keys (B-combo vectors, cross-atom equality keys).
+inline uint64_t MixHash64(uint64_t h, uint64_t x) {
+  uint64_t z = h ^ (x + 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Hash functor for code vectors (e.g. B-combos) in unordered containers.
+struct CodeVectorHash {
+  size_t operator()(const std::vector<int64_t>& v) const {
+    uint64_t h = 0x9E3779B97F4A7C15ULL ^ v.size();
+    for (int64_t x : v) h = MixHash64(h, static_cast<uint64_t>(x));
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace cextend
+
+#endif  // CEXTEND_UTIL_HASH_H_

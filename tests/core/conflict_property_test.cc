@@ -1,0 +1,249 @@
+// Randomized cross-check of the indexed PartitionConflictOracle against the
+// brute-force NaiveConflictOracle: adjacency, degrees, edge counts, forbidden
+// colors, WouldViolate and full greedy colorings must match exactly across
+// seeds, DC shapes (equality / ordering / != / no cross atoms / same-tuple
+// atoms / arity 3) and NULL-bearing columns.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/conflict.h"
+#include "graph/list_coloring.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace cextend {
+namespace {
+
+Table RandomTable(Rng& rng, size_t n) {
+  Schema schema{{"G", DataType::kInt64},
+                {"Age", DataType::kInt64},
+                {"Rel", DataType::kString},
+                {"ML", DataType::kInt64}};
+  Table t{schema};
+  const char* rels[] = {"Owner", "Spouse", "Child", "Other"};
+  for (size_t i = 0; i < n; ++i) {
+    Value age = rng.Bernoulli(0.05)
+                    ? Value::Null()
+                    : Value(rng.UniformInt(0, 90));
+    Value g = rng.Bernoulli(0.05) ? Value::Null()
+                                  : Value(rng.UniformInt(0, 4));
+    CEXTEND_CHECK(
+        t.AppendRow({g, age,
+                     Value(rels[rng.UniformInt(0, 3)]),
+                     Value(rng.UniformInt(0, 1))})
+            .ok());
+  }
+  return t;
+}
+
+std::vector<DenialConstraint> RandomDcs(Rng& rng) {
+  std::vector<DenialConstraint> dcs;
+  // No cross atoms: side0 x side1 product (owner-owner style).
+  {
+    DenialConstraint dc(2, "owner-owner");
+    dc.Unary(0, "Rel", CompareOp::kEq, Value("Owner"));
+    dc.Unary(1, "Rel", CompareOp::kEq, Value("Owner"));
+    dcs.push_back(std::move(dc));
+  }
+  // Ordering cross atom with offset (age gap).
+  {
+    DenialConstraint dc(2, "age-gap");
+    dc.Unary(0, "Rel", CompareOp::kEq, Value("Owner"));
+    dc.Unary(1, "Rel", CompareOp::kEq, Value("Spouse"));
+    dc.Binary(1, "Age", CompareOp::kLt, 0, "Age",
+              -rng.UniformInt(10, 40));
+    dcs.push_back(std::move(dc));
+  }
+  // Equality cross atom (bucketed), written with var 1 on the left so the
+  // orientation flip is exercised.
+  {
+    DenialConstraint dc(2, "same-group");
+    dc.Binary(1, "G", CompareOp::kEq, 0, "G",
+              rng.Bernoulli(0.5) ? 0 : 1);
+    dc.Unary(0, "ML", CompareOp::kEq, Value(int64_t{1}));
+    dcs.push_back(std::move(dc));
+  }
+  // != cross atom (residual filter path).
+  if (rng.Bernoulli(0.7)) {
+    DenialConstraint dc(2, "diff-group");
+    dc.Unary(0, "Rel", CompareOp::kEq, Value("Child"));
+    dc.Unary(1, "Rel", CompareOp::kEq, Value("Child"));
+    dc.Binary(0, "G", CompareOp::kNe, 1, "G");
+    dcs.push_back(std::move(dc));
+  }
+  // Equality + two ordering atoms: bucket, sorted run, and residual check.
+  if (rng.Bernoulli(0.7)) {
+    DenialConstraint dc(2, "band");
+    dc.Binary(0, "G", CompareOp::kEq, 1, "G");
+    dc.Binary(0, "Age", CompareOp::kGe, 1, "Age", -20);
+    dc.Binary(0, "Age", CompareOp::kLe, 1, "Age", 20);
+    dcs.push_back(std::move(dc));
+  }
+  // Same-tuple binary atom acting as a side filter.
+  if (rng.Bernoulli(0.5)) {
+    DenialConstraint dc(2, "self-filter");
+    dc.Binary(0, "Age", CompareOp::kGt, 0, "G", 30);
+    dc.Binary(0, "G", CompareOp::kEq, 1, "G");
+    dcs.push_back(std::move(dc));
+  }
+  // A binary kIn atom is degenerate (kIn is unary-only, so it never holds);
+  // both oracles must agree it produces no conflicts instead of the indexed
+  // one mis-planning it as an ordering atom.
+  if (rng.Bernoulli(0.3)) {
+    DenialConstraint dc(2, "degenerate-in");
+    dc.Unary(0, "Rel", CompareOp::kEq, Value("Other"));
+    dc.Binary(0, "G", CompareOp::kIn, 1, "G");
+    dcs.push_back(std::move(dc));
+  }
+  // Arity 3: exercises the shared hypergraph path.
+  if (rng.Bernoulli(0.5)) {
+    DenialConstraint dc(3, "triple");
+    dc.Unary(0, "ML", CompareOp::kEq, Value(int64_t{1}));
+    dc.Unary(1, "ML", CompareOp::kEq, Value(int64_t{1}));
+    dc.Unary(2, "ML", CompareOp::kEq, Value(int64_t{1}));
+    dc.Binary(0, "G", CompareOp::kEq, 1, "G");
+    dc.Binary(1, "G", CompareOp::kEq, 2, "G");
+    dcs.push_back(std::move(dc));
+  }
+  return dcs;
+}
+
+std::multiset<int64_t> ForbiddenSet(const PartitionOracle& oracle, size_t v,
+                                    const std::vector<int64_t>& colors) {
+  std::vector<int64_t> out;
+  oracle.AppendForbiddenColors(v, colors, &out);
+  // Duplicates are legal per the interface; compare as sets of colors.
+  return std::multiset<int64_t>(out.begin(), out.end());
+}
+
+class ConflictPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConflictPropertyTest, IndexedMatchesNaive) {
+  Rng rng(GetParam());
+  size_t n = 30 + static_cast<size_t>(rng.UniformInt(0, 50));
+  Table t = RandomTable(rng, n);
+  auto bound = BindAll(RandomDcs(rng), t);
+  ASSERT_TRUE(bound.ok()) << bound.status();
+
+  std::vector<uint32_t> rows;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.9)) rows.push_back(i);  // non-contiguous partitions
+  }
+  size_t m = rows.size();
+
+  auto indexed = PartitionConflictOracle::Build(t, bound.value(), rows);
+  ASSERT_TRUE(indexed.ok()) << indexed.status();
+  auto naive = NaiveConflictOracle::Build(t, bound.value(), rows);
+  ASSERT_TRUE(naive.ok()) << naive.status();
+
+  ASSERT_EQ(indexed->NumVertices(), naive->NumVertices());
+  EXPECT_EQ(indexed->CountEdges(), naive->CountEdges());
+  for (size_t v = 0; v < m; ++v) {
+    EXPECT_EQ(indexed->Degree(v), naive->Degree(v)) << "vertex " << v;
+  }
+  for (size_t u = 0; u < m; ++u) {
+    for (size_t v = u + 1; v < m; ++v) {
+      EXPECT_EQ(indexed->PairConflicts(u, v), naive->PairConflicts(u, v))
+          << "pair " << u << "," << v;
+    }
+  }
+
+  // Random partial colorings: forbidden sets and WouldViolate must agree.
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<int64_t> colors(m, kNoColor);
+    for (size_t v = 0; v < m; ++v) {
+      if (rng.Bernoulli(0.6)) colors[v] = rng.UniformInt(0, 5);
+    }
+    for (size_t v = 0; v < m; ++v) {
+      // The naive oracle never reports a self-edge and neither may the
+      // indexed one; compare the deduplicated color sets.
+      auto lhs = ForbiddenSet(*indexed, v, colors);
+      auto rhs = ForbiddenSet(*naive, v, colors);
+      EXPECT_EQ(std::set<int64_t>(lhs.begin(), lhs.end()),
+                std::set<int64_t>(rhs.begin(), rhs.end()))
+          << "vertex " << v;
+    }
+    std::vector<size_t> same_color;
+    for (size_t v = 0; v < m; ++v) {
+      if (rng.Bernoulli(0.3)) same_color.push_back(v);
+    }
+    for (size_t v = 0; v < m; ++v) {
+      EXPECT_EQ(indexed->WouldViolate(v, same_color),
+                naive->WouldViolate(v, same_color))
+          << "vertex " << v;
+    }
+  }
+
+  // Greedy colorings must be byte-identical (same candidate list and seed).
+  std::vector<int64_t> candidates;
+  int64_t num_candidates = rng.UniformInt(1, 8);
+  for (int64_t c = 0; c < num_candidates; ++c) candidates.push_back(c * 7);
+  ListColoringResult a = GreedyListColoring(*indexed, {}, candidates);
+  ListColoringResult b = GreedyListColoring(*naive, {}, candidates);
+  EXPECT_EQ(a.colors, b.colors);
+  EXPECT_EQ(a.skipped, b.skipped);
+}
+
+TEST_P(ConflictPropertyTest, FactoryFallbackPreservesSemantics) {
+  Rng rng(GetParam() * 977 + 5);
+  size_t n = 40;
+  Table t = RandomTable(rng, n);
+  auto bound = BindAll(RandomDcs(rng), t);
+  ASSERT_TRUE(bound.ok());
+  std::vector<uint32_t> rows(n);
+  for (uint32_t i = 0; i < n; ++i) rows[i] = i;
+
+  // A pair budget of 1 forces the naive fallback.
+  ConflictOracleOptions tiny;
+  tiny.max_materialized_pairs = 1;
+  auto fallback = BuildPartitionOracle(t, bound.value(), rows, tiny);
+  ASSERT_TRUE(fallback.ok()) << fallback.status();
+  auto indexed = BuildPartitionOracle(t, bound.value(), rows);
+  ASSERT_TRUE(indexed.ok());
+  for (size_t u = 0; u < n; ++u) {
+    EXPECT_EQ((*fallback)->Degree(u), (*indexed)->Degree(u));
+    for (size_t v = u + 1; v < n; ++v) {
+      EXPECT_EQ((*fallback)->PairConflicts(u, v),
+                (*indexed)->PairConflicts(u, v));
+    }
+  }
+  EXPECT_EQ((*fallback)->CountEdges(), (*indexed)->CountEdges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConflictPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// The paper-example partition (Figure 7) through both oracles: a directed
+// sanity anchor on top of the randomized sweep.
+TEST(ConflictPropertyFixtureTest, PaperExampleChicagoPartitionMatches) {
+  using testing_fixtures::MakePaperExample;
+  auto ex = MakePaperExample();
+  Table persons = ex.persons.Clone();
+  size_t hid_col = persons.schema().IndexOrDie("hid");
+  const int64_t hids[] = {2, 1, 3, 4, 3, 4, 4, 5, 6};
+  for (size_t r = 0; r < persons.NumRows(); ++r)
+    persons.SetCode(r, hid_col, hids[r]);
+  auto v = MaterializeJoin(persons, ex.housing, ex.names);
+  ASSERT_TRUE(v.ok());
+  auto bound = BindAll(ex.dcs, v.value());
+  ASSERT_TRUE(bound.ok());
+  std::vector<uint32_t> rows = {0, 1, 2, 3, 4, 5, 6};
+  auto indexed = PartitionConflictOracle::Build(v.value(), bound.value(), rows);
+  auto naive = NaiveConflictOracle::Build(v.value(), bound.value(), rows);
+  ASSERT_TRUE(indexed.ok());
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(indexed->CountEdges(), naive->CountEdges());
+  for (size_t u = 0; u < rows.size(); ++u) {
+    EXPECT_EQ(indexed->Degree(u), naive->Degree(u));
+    for (size_t w = u + 1; w < rows.size(); ++w) {
+      EXPECT_EQ(indexed->PairConflicts(u, w), naive->PairConflicts(u, w));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cextend

@@ -72,11 +72,15 @@ TEST(ConflictOracleTernaryTest, CandidateCapIsEnforced) {
   ASSERT_TRUE(bound.ok());
   std::vector<uint32_t> rows;
   for (uint32_t i = 0; i < 60; ++i) rows.push_back(i);
-  auto oracle = PartitionConflictOracle::Build(t, bound.value(), rows,
-                                               /*max_hyperedge_candidates=*/
-                                               1000);
+  ConflictOracleOptions options;
+  options.max_hyperedge_candidates = 1000;
+  auto oracle = PartitionConflictOracle::Build(t, bound.value(), rows, options);
   EXPECT_FALSE(oracle.ok());
   EXPECT_EQ(oracle.status().code(), StatusCode::kResourceExhausted);
+  // The factory propagates the hyperedge-cap error instead of falling back.
+  auto via_factory = BuildPartitionOracle(t, bound.value(), rows, options);
+  EXPECT_FALSE(via_factory.ok());
+  EXPECT_EQ(via_factory.status().code(), StatusCode::kResourceExhausted);
 }
 
 TEST(ConflictOracleTest, MixedBinaryAndTernary) {

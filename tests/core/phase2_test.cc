@@ -132,6 +132,27 @@ TEST(Phase2Test, ParallelColoringMatchesDcGuarantee) {
   EXPECT_EQ(mismatches.value(), 0u);
 }
 
+TEST(Phase2Test, IndexedAndNaiveOraclesProduceIdenticalOutput) {
+  // The indexed conflict oracle must not change phase-II semantics: same
+  // seed, same FK assignment, same new tuples as the brute-force oracle.
+  PaperExample ex = MakePaperExample();
+  Phase2Options indexed_options;
+  Phase2Options naive_options;
+  naive_options.use_naive_oracle = true;
+  FullRun indexed = RunBoth(ex, indexed_options);
+  FullRun naive = RunBoth(ex, naive_options);
+  size_t hid_col = indexed.phase2.r1_hat.schema().IndexOrDie("hid");
+  ASSERT_EQ(indexed.phase2.r1_hat.NumRows(), naive.phase2.r1_hat.NumRows());
+  for (size_t r = 0; r < indexed.phase2.r1_hat.NumRows(); ++r) {
+    EXPECT_EQ(indexed.phase2.r1_hat.GetCode(r, hid_col),
+              naive.phase2.r1_hat.GetCode(r, hid_col))
+        << "row " << r;
+  }
+  EXPECT_EQ(indexed.phase2.r2_hat.NumRows(), naive.phase2.r2_hat.NumRows());
+  EXPECT_EQ(indexed.phase2.stats.skipped_vertices,
+            naive.phase2.stats.skipped_vertices);
+}
+
 TEST(ConflictOracleTest, PaperExample53Degrees) {
   // Build the Chicago partition of Figure 7 (solid edges): tuples 1..7 with
   // owner-owner edges among the four owners plus the DC_O_S/DC_O_C pairs.
