@@ -208,18 +208,25 @@ uint64_t PackPair(size_t u, size_t v) {
   return (static_cast<uint64_t>(u) << 32) | static_cast<uint64_t>(v);
 }
 
+/// True when the DC's conflict set is the plain side-0 x side-1 product
+/// (no cross-tuple atoms to test per pair) — representable as an implicit
+/// biclique instead of materialized pairs.
+bool IsProductDc(const BinaryDcPlan& plan) {
+  return plan.eq.empty() && plan.ord.empty() && plan.other.empty();
+}
+
 /// Materializes every conflicting (unordered) pair of one binary DC into
 /// `pairs` (packed (u << 32) | v, u < v; duplicates allowed — deduplicated when
 /// the CSR graph is built). Every ordered pair (u = var 0, v = var 1) with
 /// u in side 0 and v in side 1 is covered, so both orientations of each
 /// unordered pair are tested exactly as the brute-force oracle does.
 Status EmitBinaryDcPairs(const Table& table, const BoundDenialConstraint& dc,
+                         const BinaryDcPlan& plan,
                          const std::vector<uint32_t>& rows,
                          size_t max_materialized_pairs,
                          std::vector<uint64_t>* pairs) {
   size_t n = rows.size();
   if (n < 2) return Status::Ok();
-  BinaryDcPlan plan = PlanBinaryDc(dc);
 
   std::vector<uint32_t> side0, side1;
   std::vector<uint8_t> in0(n, 0), in1(n, 0);
@@ -242,13 +249,15 @@ Status EmitBinaryDcPairs(const Table& table, const BoundDenialConstraint& dc,
   };
 
   // Fast path: no cross atoms at all (owner-owner style DCs) — the conflict
-  // set is the full side0 x side1 product; nothing to test per pair. The
+  // set is the full side0 x side1 product; nothing to test per pair. Such
+  // DCs are normally held implicitly (ImplicitBicliqueFamily) and never
+  // reach this function; this path only serves kMaxBicliques overflow. The
   // predicate is symmetric here, so the mirror orientation (v in side 0,
   // u in side 1) would emit the identical packed pair; skip it up front
   // instead of feeding duplicates to the dedup sort. The emission count is
   // known in closed form, so an over-budget product bails out before
   // reserving or pushing anything.
-  if (plan.eq.empty() && plan.ord.empty() && plan.other.empty()) {
+  if (IsProductDc(plan)) {
     uint64_t both = 0;  // vertices eligible on both sides
     for (size_t i = 0; i < n; ++i) both += in0[i] && in1[i] ? 1 : 0;
     // s0*s1 ordered pairs, minus the `both` diagonal hits, minus the
@@ -385,23 +394,62 @@ StatusOr<PartitionConflictOracle> PartitionConflictOracle::BuildWithHypergraph(
   oracle.rows_ = std::move(rows);
   oracle.higher_ = std::move(higher);
   size_t n = oracle.rows_.size();
+  oracle.implicit_ = ImplicitBicliqueFamily(n);
 
   std::vector<uint64_t> pairs;
+  std::vector<uint8_t> in0, in1;
   for (const BoundDenialConstraint& dc : dcs) {
     if (dc.arity() != 2) continue;
-    CEXTEND_RETURN_IF_ERROR(EmitBinaryDcPairs(
-        table, dc, oracle.rows_, options.max_materialized_pairs, &pairs));
+    BinaryDcPlan plan = PlanBinaryDc(dc);
+    if (IsProductDc(plan) && n >= 2 &&
+        oracle.implicit_.num_bicliques() <
+            ImplicitBicliqueFamily::kMaxBicliques) {
+      // No cross atoms: the conflict set is the side0 x side1 product. Keep
+      // it implicit — O(n) bits instead of Θ(|side0|·|side1|) pairs, and it
+      // never touches the materialized-pair budget.
+      in0.assign(n, 0);
+      in1.assign(n, 0);
+      bool any0 = false, any1 = false;
+      for (size_t i = 0; i < n; ++i) {
+        if (SideEligible(table, dc, plan, oracle.rows_[i], 0)) {
+          in0[i] = 1;
+          any0 = true;
+        }
+        if (SideEligible(table, dc, plan, oracle.rows_[i], 1)) {
+          in1[i] = 1;
+          any1 = true;
+        }
+      }
+      if (any0 && any1) oracle.implicit_.AddBiclique(in0, in1);
+      continue;
+    }
+    CEXTEND_RETURN_IF_ERROR(EmitBinaryDcPairs(table, dc, plan, oracle.rows_,
+                                              options.max_materialized_pairs,
+                                              &pairs));
+  }
+  oracle.implicit_.Finalize();
+  // The implicit layer normally stores O(K · n) bits, but pathologically
+  // overlapping product DCs can mint up to n distinct signature groups, each
+  // with an n-bit neighborhood. Charge its storage (one 64-bit word ≈ one
+  // materialized pair) against the pair budget so the naive fallback — O(n)
+  // memory, always — still guards the worst case.
+  if (oracle.implicit_.StorageWords() > options.max_materialized_pairs) {
+    return Status::ResourceExhausted(
+        StrFormat("implicit biclique bitsets exceed the pair budget (%zu)",
+                  options.max_materialized_pairs));
   }
   oracle.adjacency_ = AdjacencyGraph::FromPackedPairs(n, std::move(pairs));
 
-  oracle.degrees_.assign(n, 0);
-  for (size_t v = 0; v < n; ++v) {
-    oracle.degrees_[v] = oracle.adjacency_.Degree(v);
-    if (oracle.higher_ != nullptr)
+  // Union simple-graph degrees over (implicit ∪ CSR); hypergraph degrees
+  // stack on top, matching the brute-force oracle's accounting.
+  size_t pair_edges =
+      oracle.implicit_.UnionDegrees(oracle.adjacency_, &oracle.degrees_);
+  if (oracle.higher_ != nullptr) {
+    for (size_t v = 0; v < n; ++v)
       oracle.degrees_[v] += oracle.higher_->Degree(v);
   }
   oracle.num_edges_ =
-      oracle.adjacency_.num_edges() +
+      pair_edges +
       (oracle.higher_ == nullptr ? 0 : oracle.higher_->num_edges());
   return oracle;
 }
@@ -416,13 +464,17 @@ void PartitionConflictOracle::AppendForbiddenColors(
     int64_t c = colors[*p];
     if (c != kNone) out->push_back(c);
   }
+  // Implicit neighbors may overlap the CSR run; duplicate appends are legal
+  // per the ConflictOracle contract (the coloring epoch-marks them away).
+  implicit_.AppendForbiddenColors(v, colors, out);
   if (higher_ != nullptr) higher_->AppendForbiddenColors(v, colors, out);
 }
 
 bool PartitionConflictOracle::WouldViolate(
     size_t v, const std::vector<size_t>& same_color) const {
   for (size_t u : same_color) {
-    if (u != v && adjacency_.HasEdge(v, u)) return true;
+    if (u != v && (adjacency_.HasEdge(v, u) || implicit_.PairConflicts(v, u)))
+      return true;
   }
   return HyperedgeWouldViolate(higher_.get(), v, same_color);
 }

@@ -4,15 +4,21 @@
 // FK list; a hyperedge connects every tuple set that would violate a DC body
 // if co-assigned. Two interchangeable oracles implement the pairwise layer:
 //
-//  * PartitionConflictOracle (default): an *indexed* builder. For each binary
-//    DC the side-0/side-1 matching vertices are bucketed by the codes of the
-//    columns appearing in its cross-atom equality predicates (hash buckets),
-//    each bucket is sorted by the first ordering atom's key (sorted runs for
-//    < / <= / > / >=), and adjacency is materialized per bucket instead of
-//    per pair. The union over DCs is deduplicated into a CSR AdjacencyGraph,
-//    so degrees, edge counts, forbidden colors and pair queries never rescan
-//    the partition. Construction is O(n log n + E) per DC instead of the
-//    brute-force O(n^2 * |DC|) all-pairs CrossAtomsHold scan.
+//  * PartitionConflictOracle (default): an *indexed* builder. Binary DCs
+//    with no cross-tuple atoms (owner-owner style, whose conflict set is the
+//    full side-0 x side-1 product) are kept *implicit*: only the two
+//    membership bitsets are stored (ImplicitBicliqueFamily), so clique-style
+//    partitions cost O(n) memory instead of Θ(n²) materialized pairs. Every
+//    other binary DC is indexed: side-0/side-1 matching vertices are
+//    bucketed by the codes of the columns appearing in its cross-atom
+//    equality predicates (hash buckets), each bucket is sorted by the first
+//    ordering atom's key (sorted runs for < / <= / > / >=), and adjacency is
+//    materialized per bucket instead of per pair, deduplicated into a CSR
+//    AdjacencyGraph. Degrees, edge counts, forbidden colors and pair queries
+//    compose the (implicit ∪ CSR ∪ hypergraph) union with simple-graph
+//    semantics, identical to one deduplicated all-pairs scan. Construction
+//    is O(n) per implicit DC and O(n log n + E) per indexed DC instead of
+//    the brute-force O(n^2 * |DC|) all-pairs CrossAtomsHold scan.
 //
 //  * NaiveConflictOracle: the reference brute-force implementation (side
 //    masks + on-the-fly pair tests). Kept behind the same interface so tests
@@ -42,7 +48,10 @@ struct ConflictOracleOptions {
   /// The indexed oracle materializes at most this many (pre-dedup) pairwise
   /// edges (8 bytes each). Exceeding it fails with kResourceExhausted;
   /// BuildPartitionOracle then falls back to the naive oracle, which needs
-  /// O(n) memory at the price of O(n^2) queries.
+  /// O(n) memory at the price of O(n^2) queries. DCs held implicitly (no
+  /// cross atoms) never materialize pairs; their bitset storage is charged
+  /// against this budget word-for-word (normally a few n/64-word bitsets,
+  /// i.e. negligible), so adversarial signature blowups also fall back.
   size_t max_materialized_pairs = 32'000'000;
   /// Forces the brute-force oracle (benchmarks / cross-checking).
   bool force_naive = false;
@@ -98,7 +107,7 @@ class PartitionConflictOracle final : public PartitionOracle {
 
   // PartitionOracle:
   bool PairConflicts(size_t u, size_t v) const override {
-    return adjacency_.HasEdge(u, v);
+    return adjacency_.HasEdge(u, v) || implicit_.PairConflicts(u, v);
   }
   bool WouldViolate(size_t v,
                     const std::vector<size_t>& same_color) const override;
@@ -106,14 +115,20 @@ class PartitionConflictOracle final : public PartitionOracle {
 
   const AdjacencyGraph& adjacency() const { return adjacency_; }
 
+  /// Binary DCs held as implicit bicliques (no materialized pairs).
+  size_t num_implicit_bicliques() const { return implicit_.num_bicliques(); }
+  /// Deduplicated pairs actually materialized in the CSR layer.
+  size_t num_materialized_pairs() const { return adjacency_.num_edges(); }
+
  private:
   PartitionConflictOracle() = default;
 
   std::vector<uint32_t> rows_;
-  AdjacencyGraph adjacency_;  // deduplicated binary-DC edges
+  AdjacencyGraph adjacency_;  // deduplicated binary-DC edges (indexed DCs)
+  ImplicitBicliqueFamily implicit_;  // no-cross-atom binary DCs, O(n) bits
   // Arity >= 3 edges (local vertex ids); shareable with a fallback oracle.
   std::shared_ptr<const Hypergraph> higher_;
-  std::vector<int64_t> degrees_;  // adjacency + hypergraph degrees
+  std::vector<int64_t> degrees_;  // (implicit ∪ CSR) + hypergraph degrees
   size_t num_edges_ = 0;          // binary + hyper, cached
 };
 

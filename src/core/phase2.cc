@@ -1,6 +1,8 @@
 #include "core/phase2.h"
 
 #include <algorithm>
+#include <atomic>
+#include <map>
 #include <mutex>
 #include <unordered_map>
 
@@ -26,6 +28,51 @@ struct Partition {
 /// traversals with O(q) lexicographic compares per node.
 using ComboHash = CodeVectorHash;
 
+/// True when some `need`-subset of members[start..] completes `tuple` into a
+/// row set on which the DC body holds (any ordering).
+bool SubsetViolates(const Table& table, const BoundDenialConstraint& dc,
+                    const std::vector<size_t>& members,
+                    const std::vector<uint32_t>& rows, size_t start,
+                    size_t need, std::vector<uint32_t>& tuple) {
+  if (need == 0) return dc.BodyHoldsUnordered(table, tuple);
+  for (size_t i = start; i + need <= members.size(); ++i) {
+    tuple.push_back(rows[members[i]]);
+    if (SubsetViolates(table, dc, members, rows, i + 1, need - 1, tuple)) {
+      tuple.pop_back();
+      return true;
+    }
+    tuple.pop_back();
+  }
+  return false;
+}
+
+/// Direct-evaluation twin of PartitionOracle::WouldViolate for the repair
+/// fallback: true when giving `row` the same key as the bucket `members`
+/// (local ids into `rows`) violates any DC. Covers every arity uniformly;
+/// O(|bucket|^(arity-1)) per DC, used only when the per-combo oracle build
+/// exceeds its resource caps (which the enumeration-free scan never needs).
+bool ScanWouldViolate(const Table& table,
+                      const std::vector<BoundDenialConstraint>& dcs,
+                      uint32_t row, const std::vector<size_t>& members,
+                      const std::vector<uint32_t>& rows) {
+  for (const BoundDenialConstraint& dc : dcs) {
+    if (dc.arity() == 2) {
+      for (size_t m : members) {
+        if (rows[m] != row &&
+            dc.BodyHoldsUnordered(table, {row, rows[m]})) {
+          return true;
+        }
+      }
+      continue;
+    }
+    size_t need = static_cast<size_t>(dc.arity()) - 1;
+    if (members.size() < need) continue;
+    std::vector<uint32_t> tuple = {row};
+    if (SubsetViolates(table, dc, members, rows, 0, need, tuple)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
@@ -36,7 +83,6 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
                                  const Phase2Options& options) {
   Phase2Result result{r1.Clone(), r2.Clone(), {}};
   Phase2Stats& stats = result.stats;
-  Rng rng(options.seed);
 
   size_t fk_col = r1.schema().IndexOrDie(names.fk);
   size_t k2_col = r2.schema().IndexOrDie(names.key2);
@@ -90,27 +136,34 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
     stats.num_partitions = partitions.size();
   }
 
-  // Fresh key allocation, shared across (possibly parallel) partitions.
-  int64_t next_key = 0;
+  // Fresh key allocation. During (possibly parallel) coloring, tasks draw
+  // *provisional* keys from a shared atomic counter and record every
+  // allocation per task; once coloring ends, the provisional keys are
+  // renumbered into worklist order (then allocation order within a task), so
+  // the final key values and R2-tuple list are independent of thread
+  // scheduling. The serial path goes through the identical machinery.
+  int64_t fresh_base = 0;
   for (size_t r = 0; r < r2.NumRows(); ++r) {
-    next_key = std::max(next_key, r2.GetCode(r, k2_col) + 1);
+    fresh_base = std::max(fresh_base, r2.GetCode(r, k2_col) + 1);
   }
-  std::mutex alloc_mu;
+  std::atomic<int64_t> provisional_next{fresh_base};
   struct NewTuple {
     int64_t key;
     std::vector<int64_t> combo;
   };
-  std::vector<NewTuple> new_tuples;
-  auto allocate_keys = [&](size_t count,
-                           const std::vector<int64_t>& combo) {
-    std::unique_lock<std::mutex> lock(alloc_mu);
-    std::vector<int64_t> keys;
-    keys.reserve(count);
-    for (size_t i = 0; i < count; ++i) {
-      keys.push_back(next_key);
-      new_tuples.push_back(NewTuple{next_key, combo});
-      ++next_key;
-    }
+  struct Allocation {
+    std::vector<int64_t> combo;
+    std::vector<int64_t> keys;  // provisional, remapped after coloring
+  };
+  std::vector<std::vector<Allocation>> task_allocs;
+  auto allocate_provisional = [&](size_t task, size_t count,
+                                  const std::vector<int64_t>& combo) {
+    std::vector<int64_t> keys(count);
+    int64_t first = provisional_next.fetch_add(static_cast<int64_t>(count),
+                                               std::memory_order_relaxed);
+    for (size_t i = 0; i < count; ++i) keys[i] = first + static_cast<int64_t>(i);
+    // Tasks only touch their own slot, so no lock is needed.
+    task_allocs[task].push_back(Allocation{combo, keys});
     return keys;
   };
 
@@ -128,6 +181,7 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
                    [](const Partition* a, const Partition* b) {
                      return a->rows.size() > b->rows.size();
                    });
+  task_allocs.resize(worklist.size());
 
   ConflictOracleOptions oracle_options;
   oracle_options.force_naive = options.use_naive_oracle;
@@ -141,7 +195,7 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
       for (uint32_t row : p.rows) {
         int64_t key;
         if (p.candidates.empty()) {
-          key = allocate_keys(1, p.combo)[0];
+          key = allocate_provisional(idx, 1, p.combo)[0];
         } else {
           key = local_rng.Choice(p.candidates);
         }
@@ -164,7 +218,7 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
     // them; iterate in the (k-ary) corner case where skips remain.
     while (!coloring.skipped.empty()) {
       std::vector<int64_t> fresh =
-          allocate_keys(coloring.skipped.size(), p.combo);
+          allocate_provisional(idx, coloring.skipped.size(), p.combo);
       ListColoringResult next =
           GreedyListColoring(oracle, std::move(coloring.colors), fresh);
       CEXTEND_CHECK(next.skipped.size() < coloring.skipped.size())
@@ -181,25 +235,61 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
     }
   };
 
+  // One deterministic RNG per task index, derived identically on the serial
+  // and parallel paths, so num_threads never changes the output.
+  auto task_rng_for = [&](size_t idx) {
+    return Rng(options.seed ^ (0x9E3779B97F4A7C15ULL * (idx + 1)));
+  };
   {
     ScopedTimer timer(&stats.coloring_seconds);
     if (options.num_threads > 1) {
       ThreadPool pool(options.num_threads);
-      // One deterministic RNG per task index, so results do not depend on
-      // scheduling.
       ParallelFor(&pool, worklist.size(), [&](size_t idx) {
-        Rng task_rng(options.seed ^ (0x9E3779B97F4A7C15ULL * (idx + 1)));
+        Rng task_rng = task_rng_for(idx);
         color_partition(idx, task_rng);
       });
     } else {
       for (size_t idx = 0; idx < worklist.size(); ++idx) {
-        color_partition(idx, rng);
+        Rng task_rng = task_rng_for(idx);
+        color_partition(idx, task_rng);
       }
     }
   }
   if (!first_error.ok()) return first_error;
 
-  // ---- solveInvalidTuples (line 16). ----
+  // ---- Deterministic renumbering of provisional fresh keys. ----
+  // Scheduling decides which provisional values each task drew, but the
+  // per-task allocation *sequences* are deterministic (coloring is), so
+  // remapping them in worklist order restores a scheduling-independent key
+  // space. new_tuples is rebuilt in the same order.
+  std::vector<NewTuple> new_tuples;
+  int64_t next_key = fresh_base;
+  {
+    std::unordered_map<int64_t, int64_t> remap;
+    for (const std::vector<Allocation>& allocs : task_allocs) {
+      for (const Allocation& a : allocs) {
+        for (int64_t provisional : a.keys) {
+          remap.emplace(provisional, next_key);
+          new_tuples.push_back(NewTuple{next_key, a.combo});
+          ++next_key;
+        }
+      }
+    }
+    if (!remap.empty()) {
+      for (size_t r = 0; r < v_join.NumRows(); ++r) {
+        if (row_color[r] >= fresh_base) row_color[r] = remap.at(row_color[r]);
+      }
+    }
+  }
+
+  // ---- solveInvalidTuples (line 16), oracle-backed. ----
+  // Runs after the renumbering pass, so its (serial) fresh keys extend the
+  // deterministic key space directly.
+  auto allocate_fresh = [&](const std::vector<int64_t>& combo) {
+    int64_t key = next_key++;
+    new_tuples.push_back(NewTuple{key, combo});
+    return key;
+  };
   {
     ScopedTimer timer(&stats.invalid_seconds);
     stats.invalid_rows = invalid_rows.size();
@@ -219,23 +309,14 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
                                  combos.MatchingCombos(ccs[c].r2_condition));
         for (size_t i : match) cc_combo[c][i] = 1;
       }
-      // Rows already colored per (combo, key), for conflict checks.
-      std::unordered_map<std::vector<int64_t>,
-                         std::unordered_map<int64_t, std::vector<uint32_t>>,
-                         ComboHash>
-          colored_by_combo_key;
-      {
-        std::vector<int64_t> key(b_cols_v.size());
-        for (size_t r = 0; r < v_join.NumRows(); ++r) {
-          if (is_invalid[r] || row_color[r] == kNoColor) continue;
-          for (size_t i = 0; i < b_cols_v.size(); ++i)
-            key[i] = v_join.GetCode(r, b_cols_v[i]);
-          colored_by_combo_key[key][row_color[r]].push_back(
-              static_cast<uint32_t>(r));
-        }
-      }
+      // Pass 1: per invalid row, the min-badness combo (fewest CCs newly
+      // satisfied by this row). The choice depends only on the row's A
+      // values, so it can be made for all rows up front; rows are grouped by
+      // target combo while preserving their input order within a group (rows
+      // of different combos can never share a key, so cross-group order is
+      // irrelevant to the result).
+      std::map<size_t, std::vector<uint32_t>> repair_groups;
       for (uint32_t row : invalid_rows) {
-        // Min-badness combo: fewest CCs newly satisfied by this row.
         size_t best_combo = 0;
         int64_t best_badness = INT64_MAX;
         for (size_t i = 0; i < combos.num_combos(); ++i) {
@@ -253,59 +334,68 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
         for (size_t i = 0; i < b_cols_v.size(); ++i) {
           v_join.SetCode(row, b_cols_v[i], combo[i]);
         }
-        // Try existing keys of that combo without creating a violation.
-        auto& by_key = colored_by_combo_key[combo];
-        int64_t chosen = kNoColor;
-        for (int64_t key : combos.keys(best_combo)) {
-          bool ok = true;
-          auto it = by_key.find(key);
-          if (it != by_key.end()) {
-            for (uint32_t other : it->second) {
-              for (const BoundDenialConstraint& dc : bound_dcs) {
-                if (dc.arity() != 2) continue;
-                if (dc.BodyHoldsUnordered(v_join, {row, other})) {
-                  ok = false;
-                  break;
-                }
-              }
-              if (!ok) break;
-            }
-            // Higher-arity DCs: conservative full check on the bucket.
+        repair_groups[best_combo].push_back(row);
+      }
+      // Pass 2: one conflict oracle per touched combo, over the partition's
+      // colored rows plus the group's repaired rows (their B cells now carry
+      // the combo, so DC side predicates evaluate on them like any other
+      // row). Candidate keys are probed with WouldViolate against the
+      // current same-key bucket — the oracle's hypergraph covers every
+      // arity >= 3 uniformly (the old per-bucket permutation scan silently
+      // skipped arity >= 4) and each probe is O(|bucket|) instead of
+      // O(|bucket|^2 · |DC|) BodyHoldsUnordered permutations. If the oracle
+      // build trips a resource cap (hyperedge enumeration or pair budget on
+      // a row set the coloring phase never saw), repair degrades to the
+      // direct ScanWouldViolate evaluation, which needs no enumeration and
+      // also covers every arity.
+      ConflictOracleOptions repair_oracle_options = oracle_options;
+      if (options.max_hyperedge_candidates > 0) {
+        repair_oracle_options.max_hyperedge_candidates =
+            options.max_hyperedge_candidates;
+      }
+      for (const auto& [combo_id, group] : repair_groups) {
+        const std::vector<int64_t>& combo = combos.combo_codes(combo_id);
+        std::vector<uint32_t> oracle_rows;
+        auto pit = partition_index.find(combo);
+        if (pit != partition_index.end()) {
+          oracle_rows = partitions[pit->second].rows;
+        }
+        size_t num_colored = oracle_rows.size();
+        oracle_rows.insert(oracle_rows.end(), group.begin(), group.end());
+        auto oracle_or = BuildPartitionOracle(v_join, bound_dcs, oracle_rows,
+                                              repair_oracle_options);
+        if (!oracle_or.ok() &&
+            oracle_or.status().code() != StatusCode::kResourceExhausted) {
+          return oracle_or.status();
+        }
+        const bool have_oracle = oracle_or.ok();
+        if (have_oracle) ++stats.repair_oracles;
+        // Same-key buckets as local vertex ids.
+        std::unordered_map<int64_t, std::vector<size_t>> bucket;
+        for (size_t v = 0; v < num_colored; ++v) {
+          bucket[row_color[oracle_rows[v]]].push_back(v);
+        }
+        for (size_t g = 0; g < group.size(); ++g) {
+          size_t local = num_colored + g;
+          uint32_t row = group[g];
+          int64_t chosen = kNoColor;
+          for (int64_t key : combos.keys(combo_id)) {
+            auto it = bucket.find(key);
+            bool ok =
+                it == bucket.end() ||
+                (have_oracle
+                     ? !(*oracle_or.value()).WouldViolate(local, it->second)
+                     : !ScanWouldViolate(v_join, bound_dcs, row, it->second,
+                                         oracle_rows));
             if (ok) {
-              for (const BoundDenialConstraint& dc : bound_dcs) {
-                if (dc.arity() == 2) continue;
-                if (it->second.size() + 1 >=
-                    static_cast<size_t>(dc.arity())) {
-                  // Any arity-sized subset containing `row`. Small buckets
-                  // in practice; simple double loop for arity 3 (the
-                  // shipped maximum).
-                  if (dc.arity() == 3) {
-                    for (size_t a = 0; a < it->second.size() && ok; ++a) {
-                      for (size_t b = a + 1; b < it->second.size() && ok;
-                           ++b) {
-                        if (dc.BodyHoldsUnordered(
-                                v_join,
-                                {row, it->second[a], it->second[b]})) {
-                          ok = false;
-                        }
-                      }
-                    }
-                  }
-                }
-                if (!ok) break;
-              }
+              chosen = key;
+              break;
             }
           }
-          if (ok) {
-            chosen = key;
-            break;
-          }
+          if (chosen == kNoColor) chosen = allocate_fresh(combo);
+          row_color[row] = chosen;
+          bucket[chosen].push_back(local);
         }
-        if (chosen == kNoColor) {
-          chosen = allocate_keys(1, combo)[0];
-        }
-        row_color[row] = chosen;
-        by_key[chosen].push_back(row);
       }
     }
   }

@@ -6,7 +6,11 @@
 // partition's conflict structure is list-colored (Algorithm 3). Skipped
 // vertices receive fresh keys, which materializes new R2 tuples. Invalid
 // tuples (no B values) are completed last with error-minimizing combos
-// (solveInvalidTuples). Partitions can be colored in parallel (Appendix A.3).
+// (solveInvalidTuples), probing candidate keys through per-combo conflict
+// oracles so every DC arity is honored. Partitions can be colored in
+// parallel (Appendix A.3); fresh keys are renumbered deterministically after
+// coloring and all RNG streams are derived per partition, so the output is
+// identical at any thread count for a fixed seed.
 
 #ifndef CEXTEND_CORE_PHASE2_H_
 #define CEXTEND_CORE_PHASE2_H_
@@ -33,6 +37,12 @@ struct Phase2Options {
   /// Forces the brute-force conflict oracle instead of the indexed one
   /// (cross-checking / ablation; both yield identical colorings).
   bool use_naive_oracle = false;
+  /// Overrides ConflictOracleOptions::max_hyperedge_candidates when > 0,
+  /// for the per-combo *repair* oracles only (a repair oracle that exceeds
+  /// the cap degrades to direct bucket scans instead of failing the run;
+  /// coloring-phase oracles keep the library default, where a cap overrun
+  /// is a hard error by design).
+  size_t max_hyperedge_candidates = 0;
 };
 
 struct Phase2Stats {
@@ -43,6 +53,7 @@ struct Phase2Stats {
   size_t skipped_vertices = 0;     ///< vertices needing fresh colors
   size_t new_r2_tuples = 0;
   size_t invalid_rows = 0;
+  size_t repair_oracles = 0;       ///< per-combo oracles built for repair
 };
 
 struct Phase2Result {

@@ -1,6 +1,7 @@
 #include "graph/hypergraph.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "util/logging.h"
 
@@ -41,6 +42,138 @@ AdjacencyGraph AdjacencyGraph::FromPackedPairs(
 bool AdjacencyGraph::HasEdge(size_t u, size_t v) const {
   return std::binary_search(NeighborsBegin(u), NeighborsEnd(u),
                             static_cast<uint32_t>(v));
+}
+
+// ---- ImplicitBicliqueFamily. ----
+
+namespace {
+constexpr uint32_t kNoGroup = 0xFFFFFFFFu;
+constexpr int64_t kUncolored = INT64_MIN;
+
+size_t PopcountWords(const std::vector<uint64_t>& bits) {
+  size_t count = 0;
+  for (uint64_t w : bits) count += static_cast<size_t>(__builtin_popcountll(w));
+  return count;
+}
+}  // namespace
+
+ImplicitBicliqueFamily::ImplicitBicliqueFamily(size_t num_vertices)
+    : n_(num_vertices), words_((num_vertices + 63) / 64) {}
+
+void ImplicitBicliqueFamily::AddBiclique(const std::vector<uint8_t>& side0,
+                                         const std::vector<uint8_t>& side1) {
+  CEXTEND_CHECK(!finalized_) << "AddBiclique after Finalize";
+  CEXTEND_CHECK(bicliques_.size() < kMaxBicliques);
+  CEXTEND_CHECK(side0.size() == n_ && side1.size() == n_);
+  Biclique b;
+  b.side0.assign(words_, 0);
+  b.side1.assign(words_, 0);
+  for (size_t i = 0; i < n_; ++i) {
+    if (side0[i]) b.side0[i >> 6] |= uint64_t{1} << (i & 63);
+    if (side1[i]) b.side1[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+  bicliques_.push_back(std::move(b));
+}
+
+void ImplicitBicliqueFamily::Finalize() {
+  CEXTEND_CHECK(!finalized_);
+  finalized_ = true;
+  signature_.assign(n_, 0);
+  group_.assign(n_, kNoGroup);
+  if (bicliques_.empty()) return;
+  for (size_t i = 0; i < bicliques_.size(); ++i) {
+    const Biclique& b = bicliques_[i];
+    for (size_t v = 0; v < n_; ++v) {
+      if (TestBit(b.side0, v)) signature_[v] |= uint64_t{1} << (2 * i);
+      if (TestBit(b.side1, v)) signature_[v] |= uint64_t{1} << (2 * i + 1);
+    }
+  }
+  // One union-neighborhood bitset per distinct signature: a vertex on side 0
+  // of biclique i conflicts with all of side 1 and vice versa, so vertices
+  // with equal signatures share their implicit neighborhood verbatim.
+  std::unordered_map<uint64_t, uint32_t> group_of_signature;
+  for (size_t v = 0; v < n_; ++v) {
+    uint64_t sig = signature_[v];
+    if (sig == 0) continue;
+    auto [it, inserted] = group_of_signature.emplace(
+        sig, static_cast<uint32_t>(group_neighborhood_.size()));
+    if (inserted) {
+      std::vector<uint64_t> hood(words_, 0);
+      for (size_t i = 0; i < bicliques_.size(); ++i) {
+        if (sig & (uint64_t{1} << (2 * i))) {
+          for (size_t w = 0; w < words_; ++w) hood[w] |= bicliques_[i].side1[w];
+        }
+        if (sig & (uint64_t{1} << (2 * i + 1))) {
+          for (size_t w = 0; w < words_; ++w) hood[w] |= bicliques_[i].side0[w];
+        }
+      }
+      group_popcount_.push_back(PopcountWords(hood));
+      group_neighborhood_.push_back(std::move(hood));
+    }
+    group_[v] = it->second;
+  }
+}
+
+bool ImplicitBicliqueFamily::PairConflicts(size_t u, size_t v) const {
+  CEXTEND_DCHECK(finalized_);
+  if (u == v || bicliques_.empty()) return false;
+  uint32_t g = group_[u];
+  if (g == kNoGroup) return false;
+  return TestBit(group_neighborhood_[g], v);
+}
+
+int64_t ImplicitBicliqueFamily::Degree(size_t v) const {
+  CEXTEND_DCHECK(finalized_);
+  if (bicliques_.empty()) return 0;
+  uint32_t g = group_[v];
+  if (g == kNoGroup) return 0;
+  return static_cast<int64_t>(group_popcount_[g]) -
+         (TestBit(group_neighborhood_[g], v) ? 1 : 0);
+}
+
+void ImplicitBicliqueFamily::AppendForbiddenColors(
+    size_t v, const std::vector<int64_t>& colors,
+    std::vector<int64_t>* out) const {
+  CEXTEND_DCHECK(finalized_);
+  if (bicliques_.empty()) return;
+  uint32_t g = group_[v];
+  if (g == kNoGroup) return;
+  const std::vector<uint64_t>& hood = group_neighborhood_[g];
+  for (size_t w = 0; w < words_; ++w) {
+    uint64_t bits = hood[w];
+    while (bits != 0) {
+      size_t u = w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
+      bits &= bits - 1;
+      if (u == v) continue;
+      int64_t c = colors[u];
+      if (c != kUncolored) out->push_back(c);
+    }
+  }
+}
+
+size_t ImplicitBicliqueFamily::UnionDegrees(const AdjacencyGraph& csr,
+                                            std::vector<int64_t>* degrees) const {
+  CEXTEND_DCHECK(finalized_);
+  degrees->assign(n_, 0);
+  size_t degree_sum = 0;
+  for (size_t v = 0; v < n_; ++v) {
+    size_t deg = static_cast<size_t>(Degree(v));
+    uint32_t g = bicliques_.empty() ? kNoGroup : group_[v];
+    if (g == kNoGroup) {
+      deg += static_cast<size_t>(csr.Degree(v));
+    } else {
+      // CSR neighbors already covered by the implicit neighborhood would be
+      // double-counted; membership is an O(1) bit test.
+      const std::vector<uint64_t>& hood = group_neighborhood_[g];
+      for (const uint32_t* p = csr.NeighborsBegin(v), *end = csr.NeighborsEnd(v);
+           p != end; ++p) {
+        if (!TestBit(hood, *p)) ++deg;
+      }
+    }
+    (*degrees)[v] = static_cast<int64_t>(deg);
+    degree_sum += deg;
+  }
+  return degree_sum / 2;
 }
 
 Hypergraph::Hypergraph(size_t num_vertices) : incident_(num_vertices) {}

@@ -2,9 +2,11 @@
 // interface consumed by the greedy list-coloring algorithm.
 //
 // The paper materializes every hyperedge (NetworkX). Owner-owner style DCs
-// make partitions near-cliques with Θ(n²) edges, so phase II also provides a
-// streaming oracle that never stores pairwise edges; both implement
-// `ConflictOracle` and the coloring semantics are identical.
+// make partitions near-cliques with Θ(n²) edges, so this layer also provides
+// an implicit biclique representation (membership bitsets, no per-edge
+// storage) that composes with the CSR graph under union simple-graph
+// semantics; all conflict structures implement `ConflictOracle` and the
+// coloring semantics are identical regardless of representation.
 
 #ifndef CEXTEND_GRAPH_HYPERGRAPH_H_
 #define CEXTEND_GRAPH_HYPERGRAPH_H_
@@ -69,6 +71,90 @@ class AdjacencyGraph {
  private:
   std::vector<size_t> offsets_;     // n + 1 entries
   std::vector<uint32_t> neighbors_; // 2 * num_edges entries, sorted per row
+};
+
+/// A family of implicit bicliques over vertices 0..n-1. Biclique i is given
+/// by two membership bitsets (side 0 / side 1) and contributes every
+/// unordered pair {u, v}, u != v, with u on one side and v on the other
+/// (symmetric closure; side0 == side1 yields a clique). No per-edge storage:
+/// a clique-style conflict set costs O(n) bits instead of Θ(n²) pairs.
+///
+/// Degrees and edge counts follow union-simple-graph semantics: vertices are
+/// grouped by their membership signature (vertices with identical signatures
+/// share one implicit neighborhood), one union-neighborhood bitset is built
+/// per distinct signature, and `UnionDegrees` composes the family with a CSR
+/// AdjacencyGraph so overlapping edges (several bicliques, or a biclique and
+/// a materialized pair) count once — exactly what a deduplicated pair list
+/// would produce.
+class ImplicitBicliqueFamily {
+ public:
+  /// At most this many bicliques per family (signatures pack two bits per
+  /// biclique into a uint64_t); callers route further conflict sets through
+  /// an explicit representation.
+  static constexpr size_t kMaxBicliques = 32;
+
+  ImplicitBicliqueFamily() = default;
+  explicit ImplicitBicliqueFamily(size_t num_vertices);
+
+  /// Adds a biclique from n-length 0/1 membership masks. Must be called
+  /// before Finalize; requires num_bicliques() < kMaxBicliques.
+  void AddBiclique(const std::vector<uint8_t>& side0,
+                   const std::vector<uint8_t>& side1);
+
+  /// Builds the signature groups and union-neighborhood bitsets. Queries and
+  /// UnionDegrees require a finalized family; AddBiclique is rejected after.
+  void Finalize();
+
+  size_t num_bicliques() const { return bicliques_.size(); }
+  bool empty() const { return bicliques_.empty(); }
+
+  /// O(1): true when some biclique covers the unordered pair {u, v}.
+  bool PairConflicts(size_t u, size_t v) const;
+
+  /// Number of implicit neighbors of `v` (union over bicliques, v excluded).
+  int64_t Degree(size_t v) const;
+
+  /// Appends colors[u] for every colored implicit neighbor u of `v`
+  /// (duplicates allowed, matching ConflictOracle::AppendForbiddenColors).
+  void AppendForbiddenColors(size_t v, const std::vector<int64_t>& colors,
+                             std::vector<int64_t>* out) const;
+
+  /// Exact union-graph degrees composed with `csr`:
+  /// degrees[v] = |N_csr(v) ∪ N_implicit(v)|. Returns the number of unique
+  /// union edges. Cost: O(#signatures · K · n/64 + Σ deg_csr + n).
+  size_t UnionDegrees(const AdjacencyGraph& csr,
+                      std::vector<int64_t>* degrees) const;
+
+  /// 64-bit words held by the membership and group-neighborhood bitsets
+  /// (valid after Finalize). Normally O(K · n/64); adversarially overlapping
+  /// bicliques can push the group count toward n, so callers should charge
+  /// this against their edge-memory budget and fall back when it blows up.
+  size_t StorageWords() const {
+    return (2 * bicliques_.size() + group_neighborhood_.size()) * words_;
+  }
+
+ private:
+  static bool TestBit(const std::vector<uint64_t>& bits, size_t i) {
+    return (bits[i >> 6] >> (i & 63)) & 1;
+  }
+
+  struct Biclique {
+    std::vector<uint64_t> side0;
+    std::vector<uint64_t> side1;
+  };
+
+  size_t n_ = 0;
+  size_t words_ = 0;
+  bool finalized_ = false;
+  std::vector<Biclique> bicliques_;
+  /// Per-vertex membership signature: bit 2i = in side 0 of biclique i,
+  /// bit 2i+1 = in side 1. Signature 0 means "in no biclique".
+  std::vector<uint64_t> signature_;
+  /// Per-vertex dense group id (UINT32_MAX for signature 0), one
+  /// union-neighborhood bitset (with cached popcount) per group.
+  std::vector<uint32_t> group_;
+  std::vector<std::vector<uint64_t>> group_neighborhood_;
+  std::vector<size_t> group_popcount_;
 };
 
 /// Explicitly stored hypergraph (vertices 0..n-1; edges of arity >= 2).

@@ -10,7 +10,11 @@
 // candidate index (no per-vertex set rebuild), so one step costs
 // O(|forbidden(v)| + scan-to-first-free colors); with the indexed conflict
 // oracle a whole pass is O(sum of degrees + n * first-free scans) instead of
-// the previous O(n^2 * |DC|).
+// the previous O(n^2 * |DC|). Oracles may report the same forbidden color
+// several times (e.g. a neighbor reachable through both an implicit
+// biclique and the CSR layer) — the epoch marks absorb duplicates, and the
+// degree order only relies on the oracle's union simple-graph degrees, so
+// colorings are identical across conflict representations.
 
 #ifndef CEXTEND_GRAPH_LIST_COLORING_H_
 #define CEXTEND_GRAPH_LIST_COLORING_H_

@@ -99,6 +99,24 @@ std::vector<DenialConstraint> RandomDcs(Rng& rng) {
     dc.Binary(0, "G", CompareOp::kIn, 1, "G");
     dcs.push_back(std::move(dc));
   }
+  // A second no-cross-atom DC whose sides overlap the owner-owner clique:
+  // two implicit bicliques whose union must stay simple-graph (and overlap
+  // materialized pairs from the DCs above).
+  if (rng.Bernoulli(0.7)) {
+    DenialConstraint dc(2, "owner-spouse-product");
+    dc.Unary(0, "Rel", CompareOp::kEq, Value("Owner"));
+    dc.UnaryIn(1, "Rel", {Value("Owner"), Value("Spouse")});
+    dcs.push_back(std::move(dc));
+  }
+  // No-cross-atom DC with a same-tuple binary atom as a side filter: the
+  // implicit side masks must honor SideEligible, not just the unary atoms.
+  if (rng.Bernoulli(0.5)) {
+    DenialConstraint dc(2, "filtered-product");
+    dc.Unary(0, "Rel", CompareOp::kEq, Value("Child"));
+    dc.Unary(1, "Rel", CompareOp::kEq, Value("Child"));
+    dc.Binary(0, "Age", CompareOp::kGt, 0, "G", 30);
+    dcs.push_back(std::move(dc));
+  }
   // Arity 3: exercises the shared hypergraph path.
   if (rng.Bernoulli(0.5)) {
     DenialConstraint dc(3, "triple");
@@ -107,6 +125,16 @@ std::vector<DenialConstraint> RandomDcs(Rng& rng) {
     dc.Unary(2, "ML", CompareOp::kEq, Value(int64_t{1}));
     dc.Binary(0, "G", CompareOp::kEq, 1, "G");
     dc.Binary(1, "G", CompareOp::kEq, 2, "G");
+    dcs.push_back(std::move(dc));
+  }
+  // Arity 4 with tight sides: the hypergraph must cover arities beyond 3
+  // (the repair path relies on this) while staying under the candidate cap.
+  if (rng.Bernoulli(0.3)) {
+    DenialConstraint dc(4, "quad");
+    for (int var = 0; var < 4; ++var) {
+      dc.Unary(var, "Rel", CompareOp::kEq, Value("Spouse"));
+      dc.Unary(var, "ML", CompareOp::kEq, Value(int64_t{1}));
+    }
     dcs.push_back(std::move(dc));
   }
   return dcs;
@@ -216,6 +244,94 @@ TEST_P(ConflictPropertyTest, FactoryFallbackPreservesSemantics) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConflictPropertyTest,
                          ::testing::Range<uint64_t>(1, 13));
+
+TEST(ImplicitCliqueTest, CliquePartitionBuildsWithoutMaterializedPairs) {
+  // Acceptance: a clique-style partition (single no-cross-atom DC, n = 4096)
+  // builds its oracle in O(n) memory — no materialized pair list and no
+  // naive fallback — even with a pair budget far below the ~8.4M clique
+  // edges.
+  constexpr size_t n = 4096;
+  Schema schema{{"Rel", DataType::kString}};
+  Table t{schema};
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value("Owner")}).ok());
+  }
+  DenialConstraint dc(2, "owner-owner");
+  dc.Unary(0, "Rel", CompareOp::kEq, Value("Owner"));
+  dc.Unary(1, "Rel", CompareOp::kEq, Value("Owner"));
+  auto bound = BindAll({dc}, t);
+  ASSERT_TRUE(bound.ok());
+  std::vector<uint32_t> rows(n);
+  for (uint32_t i = 0; i < n; ++i) rows[i] = i;
+
+  ConflictOracleOptions tiny;
+  tiny.max_materialized_pairs = 1000;  // << n(n-1)/2
+  auto oracle = BuildPartitionOracle(t, bound.value(), rows, tiny);
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  auto* indexed = dynamic_cast<PartitionConflictOracle*>(oracle->get());
+  ASSERT_NE(indexed, nullptr) << "clique DC fell back to the naive oracle";
+  EXPECT_EQ(indexed->num_implicit_bicliques(), 1u);
+  EXPECT_EQ(indexed->num_materialized_pairs(), 0u);
+  EXPECT_EQ(indexed->CountEdges(), n * (n - 1) / 2);
+  for (size_t v : {size_t{0}, size_t{17}, n - 1}) {
+    EXPECT_EQ(indexed->Degree(v), static_cast<int64_t>(n - 1));
+  }
+  EXPECT_TRUE(indexed->PairConflicts(0, n - 1));
+  EXPECT_FALSE(indexed->PairConflicts(5, 5));
+  std::vector<size_t> bucket = {1, 2, 3};
+  EXPECT_TRUE(indexed->WouldViolate(0, bucket));
+  // A full greedy coloring with n candidates assigns every vertex a distinct
+  // color without ever materializing an edge.
+  std::vector<int64_t> candidates;
+  for (int64_t c = 0; c < static_cast<int64_t>(n); ++c)
+    candidates.push_back(c);
+  ListColoringResult coloring = GreedyListColoring(*indexed, {}, candidates);
+  EXPECT_TRUE(coloring.skipped.empty());
+  std::set<int64_t> distinct(coloring.colors.begin(), coloring.colors.end());
+  EXPECT_EQ(distinct.size(), n);
+}
+
+TEST(ImplicitCliqueTest, MixedImplicitAndIndexedDegreesStaySimpleGraph) {
+  // Two overlapping product DCs plus an equality-indexed DC: union degrees
+  // must match a brute-force dedup pair scan (no double counting between the
+  // implicit bicliques or against the CSR layer).
+  Rng rng(71);
+  Table t = RandomTable(rng, 64);
+  std::vector<DenialConstraint> dcs;
+  {
+    DenialConstraint dc(2, "owner-owner");
+    dc.Unary(0, "Rel", CompareOp::kEq, Value("Owner"));
+    dc.Unary(1, "Rel", CompareOp::kEq, Value("Owner"));
+    dcs.push_back(std::move(dc));
+  }
+  {
+    DenialConstraint dc(2, "owner-anyone");
+    dc.Unary(0, "Rel", CompareOp::kEq, Value("Owner"));
+    dc.UnaryIn(1, "Rel",
+               {Value("Owner"), Value("Spouse"), Value("Child")});
+    dcs.push_back(std::move(dc));
+  }
+  {
+    DenialConstraint dc(2, "same-group");
+    dc.Unary(0, "ML", CompareOp::kEq, Value(int64_t{1}));
+    dc.Unary(1, "ML", CompareOp::kEq, Value(int64_t{1}));
+    dc.Binary(0, "G", CompareOp::kEq, 1, "G");
+    dcs.push_back(std::move(dc));
+  }
+  auto bound = BindAll(dcs, t);
+  ASSERT_TRUE(bound.ok());
+  std::vector<uint32_t> rows(64);
+  for (uint32_t i = 0; i < 64; ++i) rows[i] = i;
+  auto indexed = PartitionConflictOracle::Build(t, bound.value(), rows);
+  ASSERT_TRUE(indexed.ok()) << indexed.status();
+  EXPECT_EQ(indexed->num_implicit_bicliques(), 2u);
+  auto naive = NaiveConflictOracle::Build(t, bound.value(), rows);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(indexed->CountEdges(), naive->CountEdges());
+  for (size_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(indexed->Degree(v), naive->Degree(v)) << "vertex " << v;
+  }
+}
 
 // The paper-example partition (Figure 7) through both oracles: a directed
 // sanity anchor on top of the randomized sweep.

@@ -153,6 +153,87 @@ TEST(Phase2Test, IndexedAndNaiveOraclesProduceIdenticalOutput) {
             naive.phase2.stats.skipped_vertices);
 }
 
+TEST(Phase2Test, InvalidTupleRepairHonorsArityFourDcs) {
+  // Regression: the old solveInvalidTuples only conflict-checked DCs of
+  // arity == 3, so an arity-4 DC let repaired rows pile into one key. Five
+  // "Senior" rows (all invalid) and a 4-ary "no four seniors share a house"
+  // DC must spread across >= 2 houses.
+  Schema persons_schema{{"pid", DataType::kInt64},
+                        {"Rel", DataType::kString},
+                        {"hid", DataType::kInt64}};
+  Table persons{persons_schema};
+  for (int64_t i = 1; i <= 5; ++i) {
+    CEXTEND_CHECK(
+        persons.AppendRow({Value(i), Value("Senior"), Value::Null()}).ok());
+  }
+  Schema housing_schema{{"hid", DataType::kInt64}, {"Area", DataType::kString}};
+  Table housing{housing_schema};
+  for (int64_t h = 1; h <= 3; ++h) {
+    CEXTEND_CHECK(housing.AppendRow({Value(h), Value("X")}).ok());
+  }
+  auto names = PairSchema::Infer(persons, housing, "pid", "hid", "hid");
+  ASSERT_TRUE(names.ok());
+  DenialConstraint dc(4, "no-4-seniors");
+  for (int var = 0; var < 4; ++var) {
+    dc.Unary(var, "Rel", CompareOp::kEq, Value("Senior"));
+  }
+  std::vector<DenialConstraint> dcs;
+  dcs.push_back(std::move(dc));
+  auto v = MakeJoinView(persons, housing, names.value());
+  ASSERT_TRUE(v.ok());
+  Table v_join = std::move(v).value();
+  std::vector<uint32_t> invalid = {0, 1, 2, 3, 4};
+  auto phase2 = RunPhase2(v_join, persons, housing, names.value(), dcs, {},
+                          invalid, {});
+  ASSERT_TRUE(phase2.ok()) << phase2.status().ToString();
+  auto report = EvaluateDcError(dcs, phase2->r1_hat, "hid");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->num_violations, 0u) << report->Summary();
+  EXPECT_EQ(report->error, 0.0);
+  auto mismatches = CountJoinMismatches(phase2->r1_hat, "hid", phase2->r2_hat,
+                                        "hid", v_join, {"Area"});
+  ASSERT_TRUE(mismatches.ok()) << mismatches.status();
+  EXPECT_EQ(mismatches.value(), 0u);
+}
+
+TEST(Phase2Test, InvalidTupleRepairFallsBackWhenOracleCapped) {
+  // With the hyperedge-candidate cap forced to 1, the per-combo repair
+  // oracle cannot be built; repair must degrade to the direct bucket scan
+  // (which also covers arity 4) instead of failing the run.
+  Schema persons_schema{{"pid", DataType::kInt64},
+                        {"Rel", DataType::kString},
+                        {"hid", DataType::kInt64}};
+  Table persons{persons_schema};
+  for (int64_t i = 1; i <= 5; ++i) {
+    CEXTEND_CHECK(
+        persons.AppendRow({Value(i), Value("Senior"), Value::Null()}).ok());
+  }
+  Schema housing_schema{{"hid", DataType::kInt64}, {"Area", DataType::kString}};
+  Table housing{housing_schema};
+  for (int64_t h = 1; h <= 3; ++h) {
+    CEXTEND_CHECK(housing.AppendRow({Value(h), Value("X")}).ok());
+  }
+  auto names = PairSchema::Infer(persons, housing, "pid", "hid", "hid");
+  ASSERT_TRUE(names.ok());
+  DenialConstraint dc(4, "no-4-seniors");
+  for (int var = 0; var < 4; ++var) {
+    dc.Unary(var, "Rel", CompareOp::kEq, Value("Senior"));
+  }
+  std::vector<DenialConstraint> dcs;
+  dcs.push_back(std::move(dc));
+  auto v = MakeJoinView(persons, housing, names.value());
+  ASSERT_TRUE(v.ok());
+  Table v_join = std::move(v).value();
+  Phase2Options options;
+  options.max_hyperedge_candidates = 1;
+  auto phase2 = RunPhase2(v_join, persons, housing, names.value(), dcs, {},
+                          {0, 1, 2, 3, 4}, options);
+  ASSERT_TRUE(phase2.ok()) << phase2.status().ToString();
+  auto report = EvaluateDcError(dcs, phase2->r1_hat, "hid");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->num_violations, 0u) << report->Summary();
+}
+
 TEST(ConflictOracleTest, PaperExample53Degrees) {
   // Build the Chicago partition of Figure 7 (solid edges): tuples 1..7 with
   // owner-owner edges among the four owners plus the DC_O_S/DC_O_C pairs.

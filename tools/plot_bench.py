@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Render the BENCH_phase2.json perf trajectory.
+
+Every harness bench run appends one JSON object per line to
+``BENCH_phase2.json`` (see bench/harness.cc). This tool turns that
+append-only trajectory into a readable report:
+
+  * with matplotlib available (or --png given): a two-panel figure —
+    phase-2 seconds per record (trajectory, one line per method) and the
+    phase-2 time breakdown (partition / coloring / invalid) for the most
+    recent record of each (method, scale) cell;
+  * otherwise (or with --ascii): an ASCII table plus a sparkline of the
+    trajectory, so the tool works on a bare CI box.
+
+Usage:
+  tools/plot_bench.py [BENCH_phase2.json] [--png out.png] [--ascii]
+"""
+
+import argparse
+import json
+import sys
+
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def load_records(path):
+    records = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for line_no, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as e:
+                    print(f"warning: {path}:{line_no}: skipping bad record ({e})",
+                          file=sys.stderr)
+    except OSError as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if not records:
+        sys.exit(f"error: no records in {path}")
+    return records
+
+
+def by_method(records):
+    methods = {}
+    for i, r in enumerate(records):
+        methods.setdefault(r.get("method", "?"), []).append((i, r))
+    return methods
+
+
+def sparkline(values):
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(
+        SPARK_CHARS[int((v - lo) / span * (len(SPARK_CHARS) - 1))]
+        for v in values)
+
+
+def ascii_report(records):
+    methods = by_method(records)
+    print(f"{len(records)} records, methods: {', '.join(sorted(methods))}\n")
+    header = (f"{'method':<14} {'scale':>6} {'persons':>8} {'p2 s':>9} "
+              f"{'part s':>8} {'color s':>8} {'inval s':>8} {'new R2':>7}")
+    print(header)
+    print("-" * len(header))
+    # Latest record per (method, scale): the current state of each cell.
+    latest = {}
+    for i, r in enumerate(records):
+        latest[(r.get("method", "?"), r.get("scale", 0.0))] = r
+    for (method, scale), r in sorted(latest.items()):
+        print(f"{method:<14} {scale:>6.2f} {r.get('persons', 0):>8} "
+              f"{r.get('phase2_seconds', 0.0):>9.4f} "
+              f"{r.get('partition_seconds', 0.0):>8.4f} "
+              f"{r.get('coloring_seconds', 0.0):>8.4f} "
+              f"{r.get('invalid_seconds', 0.0):>8.4f} "
+              f"{r.get('new_r2_tuples', 0):>7}")
+    print("\nphase-2 seconds trajectory (append order):")
+    for method, recs in sorted(methods.items()):
+        values = [r.get("phase2_seconds", 0.0) for _, r in recs]
+        print(f"  {method:<14} {sparkline(values)}  "
+              f"[{min(values):.4f} .. {max(values):.4f}]")
+
+
+def png_report(records, out_path):
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    methods = by_method(records)
+    fig, (ax_traj, ax_break) = plt.subplots(1, 2, figsize=(12, 4.5))
+
+    for method, recs in sorted(methods.items()):
+        xs = [i for i, _ in recs]
+        ys = [r.get("phase2_seconds", 0.0) for _, r in recs]
+        ax_traj.plot(xs, ys, marker="o", markersize=3, label=method)
+    ax_traj.set_xlabel("record (append order)")
+    ax_traj.set_ylabel("phase-2 seconds")
+    ax_traj.set_title("phase-2 trajectory")
+    ax_traj.legend()
+    ax_traj.grid(True, alpha=0.3)
+
+    latest = {}
+    for i, r in enumerate(records):
+        latest[(r.get("method", "?"), r.get("scale", 0.0))] = r
+    cells = sorted(latest.items())
+    labels = [f"{m}@{s:g}x" for (m, s), _ in cells]
+    parts = [r.get("partition_seconds", 0.0) for _, r in cells]
+    colors_ = [r.get("coloring_seconds", 0.0) for _, r in cells]
+    invalids = [r.get("invalid_seconds", 0.0) for _, r in cells]
+    xs = range(len(cells))
+    ax_break.bar(xs, parts, label="partition")
+    ax_break.bar(xs, colors_, bottom=parts, label="coloring")
+    bottoms = [p + c for p, c in zip(parts, colors_)]
+    ax_break.bar(xs, invalids, bottom=bottoms, label="invalid repair")
+    ax_break.set_xticks(list(xs))
+    ax_break.set_xticklabels(labels, rotation=45, ha="right", fontsize=7)
+    ax_break.set_ylabel("seconds")
+    ax_break.set_title("latest phase-2 breakdown per (method, scale)")
+    ax_break.legend()
+    ax_break.grid(True, axis="y", alpha=0.3)
+
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=150)
+    print(f"wrote {out_path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trajectory", nargs="?", default="BENCH_phase2.json",
+                        help="JSON-lines trajectory file (default: %(default)s)")
+    parser.add_argument("--png", metavar="OUT",
+                        help="write a PNG figure (requires matplotlib)")
+    parser.add_argument("--ascii", action="store_true",
+                        help="force the ASCII report even with matplotlib")
+    args = parser.parse_args()
+
+    records = load_records(args.trajectory)
+    if not args.ascii:
+        try:
+            png_report(records, args.png or "BENCH_phase2.png")
+            return
+        except ImportError:
+            if args.png:
+                sys.exit("error: --png requires matplotlib")
+            print("matplotlib not available; falling back to ASCII report\n",
+                  file=sys.stderr)
+    ascii_report(records)
+
+
+if __name__ == "__main__":
+    main()
