@@ -134,6 +134,7 @@ StatusOr<RunResult> RunMethod(const Dataset& dataset, Method method,
   SolverOptions solver_options;
   solver_options.seed = options.seed;
   solver_options.phase2.num_threads = options.threads;
+  solver_options.phase1.ilp.num_threads = options.threads;
   Stopwatch watch;
   StatusOr<Solution> solution = Status::Internal("unset");
   switch (method) {

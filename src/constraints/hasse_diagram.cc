@@ -1,34 +1,12 @@
 #include "constraints/hasse_diagram.h"
 
 #include <algorithm>
-#include <numeric>
 #include <sstream>
 
 #include "util/logging.h"
+#include "util/union_find.h"
 
 namespace cextend {
-namespace {
-
-/// Union-find for component computation.
-class UnionFind {
- public:
-  explicit UnionFind(size_t n) : parent_(n) {
-    std::iota(parent_.begin(), parent_.end(), 0);
-  }
-  size_t Find(size_t x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
-    }
-    return x;
-  }
-  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
-
- private:
-  std::vector<size_t> parent_;
-};
-
-}  // namespace
 
 HasseDiagram HasseDiagram::Build(const CcRelationMatrix& rel) {
   size_t n = rel.size();

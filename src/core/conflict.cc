@@ -1,12 +1,15 @@
 #include "core/conflict.h"
 
 #include <algorithm>
+#include <atomic>
+#include <iterator>
 #include <set>
 #include <unordered_map>
 
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace cextend {
 namespace {
@@ -215,15 +218,26 @@ bool IsProductDc(const BinaryDcPlan& plan) {
   return plan.eq.empty() && plan.ord.empty() && plan.other.empty();
 }
 
+/// Pairs emitted before the next charge against the shared budget counter;
+/// bounds the global transient memory at budget + threads · chunk instead
+/// of threads · budget when several DC runs emit concurrently.
+constexpr size_t kBudgetChargeChunk = 1 << 16;
+
 /// Materializes every conflicting (unordered) pair of one binary DC into
 /// `pairs` (packed (u << 32) | v, u < v; duplicates allowed — deduplicated when
 /// the CSR graph is built). Every ordered pair (u = var 0, v = var 1) with
 /// u in side 0 and v in side 1 is covered, so both orientations of each
 /// unordered pair are tested exactly as the brute-force oracle does.
+/// Emission is charged in chunks against `global_emitted`, the pre-dedup
+/// pair count shared by every DC run of one build: the budget decision
+/// (total raw emission vs. max_materialized_pairs) matches the old
+/// cumulative serial check while keeping concurrent runs' combined memory
+/// near the budget.
 Status EmitBinaryDcPairs(const Table& table, const BoundDenialConstraint& dc,
                          const BinaryDcPlan& plan,
                          const std::vector<uint32_t>& rows,
                          size_t max_materialized_pairs,
+                         std::atomic<size_t>* global_emitted,
                          std::vector<uint64_t>* pairs) {
   size_t n = rows.size();
   if (n < 2) return Status::Ok();
@@ -247,6 +261,14 @@ Status EmitBinaryDcPairs(const Table& table, const BoundDenialConstraint& dc,
         StrFormat("materialized conflict pairs exceed the budget (%zu)",
                   max_materialized_pairs));
   };
+  size_t charged = 0;
+  // Charges `count` more emitted pairs; true when the build-wide total
+  // crosses the budget.
+  auto charge = [&](size_t count) {
+    charged += count;
+    size_t prior = global_emitted->fetch_add(count);
+    return prior + count > max_materialized_pairs;
+  };
 
   // Fast path: no cross atoms at all (owner-owner style DCs) — the conflict
   // set is the full side0 x side1 product; nothing to test per pair. Such
@@ -265,9 +287,9 @@ Status EmitBinaryDcPairs(const Table& table, const BoundDenialConstraint& dc,
     uint64_t emitted = static_cast<uint64_t>(side0.size()) *
                            static_cast<uint64_t>(side1.size()) -
                        both - both * (both - 1) / 2;
-    if (pairs->size() + emitted > max_materialized_pairs) {
-      return over_budget();
-    }
+    // Known in closed form, so the whole product is charged (and an
+    // over-budget one bails out) before reserving or pushing anything.
+    if (charge(static_cast<size_t>(emitted))) return over_budget();
     pairs->reserve(pairs->size() + static_cast<size_t>(emitted));
     for (uint32_t u : side0) {
       for (uint32_t v : side1) {
@@ -367,9 +389,45 @@ Status EmitBinaryDcPairs(const Table& table, const BoundDenialConstraint& dc,
       }
       if (ok) pairs->push_back(PackPair(u, v));
     }
-    if (pairs->size() > max_materialized_pairs) return over_budget();
+    if (pairs->size() - charged >= kBudgetChargeChunk &&
+        charge(pairs->size() - charged)) {
+      return over_budget();
+    }
+  }
+  if (pairs->size() > charged && charge(pairs->size() - charged)) {
+    return over_budget();
   }
   return Status::Ok();
+}
+
+/// Merges independently sorted, deduplicated per-DC pair runs into one
+/// sorted unique list via pairwise std::merge rounds (O(total · log k) with
+/// a tight two-way inner loop; cross-run duplicates fall to a final unique
+/// pass). The result is exactly what sorting + deduplicating the
+/// concatenated emission would produce, so the parallel build stays
+/// byte-identical to the serial one.
+std::vector<uint64_t> MergeSortedRuns(std::vector<std::vector<uint64_t>>&& runs) {
+  runs.erase(std::remove_if(runs.begin(), runs.end(),
+                            [](const std::vector<uint64_t>& r) {
+                              return r.empty();
+                            }),
+             runs.end());
+  if (runs.empty()) return {};
+  while (runs.size() > 1) {
+    std::vector<std::vector<uint64_t>> next;
+    next.reserve((runs.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < runs.size(); i += 2) {
+      std::vector<uint64_t> merged;
+      merged.reserve(runs[i].size() + runs[i + 1].size());
+      std::merge(runs[i].begin(), runs[i].end(), runs[i + 1].begin(),
+                 runs[i + 1].end(), std::back_inserter(merged));
+      next.push_back(std::move(merged));
+    }
+    if (runs.size() % 2 != 0) next.push_back(std::move(runs.back()));
+    runs = std::move(next);
+  }
+  runs[0].erase(std::unique(runs[0].begin(), runs[0].end()), runs[0].end());
+  return std::move(runs[0]);
 }
 
 }  // namespace
@@ -396,7 +454,10 @@ StatusOr<PartitionConflictOracle> PartitionConflictOracle::BuildWithHypergraph(
   size_t n = oracle.rows_.size();
   oracle.implicit_ = ImplicitBicliqueFamily(n);
 
-  std::vector<uint64_t> pairs;
+  // Pass 1 (serial, O(n) per DC): split binary DCs into implicitly held
+  // product DCs and indexed DCs whose pairs get materialized.
+  std::vector<const BoundDenialConstraint*> indexed_dcs;
+  std::vector<BinaryDcPlan> indexed_plans;
   std::vector<uint8_t> in0, in1;
   for (const BoundDenialConstraint& dc : dcs) {
     if (dc.arity() != 2) continue;
@@ -423,11 +484,34 @@ StatusOr<PartitionConflictOracle> PartitionConflictOracle::BuildWithHypergraph(
       if (any0 && any1) oracle.implicit_.AddBiclique(in0, in1);
       continue;
     }
-    CEXTEND_RETURN_IF_ERROR(EmitBinaryDcPairs(table, dc, plan, oracle.rows_,
-                                              options.max_materialized_pairs,
-                                              &pairs));
+    indexed_dcs.push_back(&dc);
+    indexed_plans.push_back(std::move(plan));
   }
   oracle.implicit_.Finalize();
+
+  // Pass 2: per-DC pair emission, fanned out on the thread pool when one is
+  // supplied. Each DC emits into a private run, which is then sorted and
+  // deduplicated inside the task; the runs merge into one sorted unique pair
+  // list, byte-identical to the serial sort-then-dedup of the concatenated
+  // emission. The pair budget is authoritative on the *pre-dedup* total (as
+  // in the old cumulative serial check): every run charges the shared
+  // counter in chunks, so concurrent runs' combined memory stays near the
+  // budget rather than a per-run multiple of it.
+  std::vector<std::vector<uint64_t>> runs(indexed_dcs.size());
+  std::vector<Status> run_status(indexed_dcs.size(), Status::Ok());
+  std::atomic<size_t> total_emitted{0};
+  ParallelFor(options.pool, indexed_dcs.size(), [&](size_t i) {
+    run_status[i] =
+        EmitBinaryDcPairs(table, *indexed_dcs[i], indexed_plans[i],
+                          oracle.rows_, options.max_materialized_pairs,
+                          &total_emitted, &runs[i]);
+    std::sort(runs[i].begin(), runs[i].end());
+    runs[i].erase(std::unique(runs[i].begin(), runs[i].end()), runs[i].end());
+  });
+  for (size_t i = 0; i < indexed_dcs.size(); ++i) {
+    CEXTEND_RETURN_IF_ERROR(run_status[i]);
+  }
+  std::vector<uint64_t> pairs = MergeSortedRuns(std::move(runs));
   // The implicit layer normally stores O(K · n) bits, but pathologically
   // overlapping product DCs can mint up to n distinct signature groups, each
   // with an n-bit neighborhood. Charge its storage (one 64-bit word ≈ one
@@ -438,7 +522,8 @@ StatusOr<PartitionConflictOracle> PartitionConflictOracle::BuildWithHypergraph(
         StrFormat("implicit biclique bitsets exceed the pair budget (%zu)",
                   options.max_materialized_pairs));
   }
-  oracle.adjacency_ = AdjacencyGraph::FromPackedPairs(n, std::move(pairs));
+  oracle.adjacency_ =
+      AdjacencyGraph::FromSortedUniquePairs(n, std::move(pairs));
 
   // Union simple-graph degrees over (implicit ∪ CSR); hypergraph degrees
   // stack on top, matching the brute-force oracle's accounting.

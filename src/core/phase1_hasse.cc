@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <optional>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "relational/attr_set.h"
@@ -185,21 +186,29 @@ StatusOr<std::vector<uint32_t>> CompleteLeftoverRows(
   const Binning& binning = state.binning();
   const Table& v_join = state.v_join();
 
-  // cc -> matching bins bitmap; cc -> matching combos bitmap.
+  // cc -> matching bins / matching combos as flat bitsets (one word run per
+  // CC) instead of per-CC byte vectors: the per-bin free-combo computation
+  // below collapses to word-wise ORs over the relevant CCs' combo masks,
+  // cutting the O(num_ccs x num_combos) byte scans on wide R2s.
   size_t num_ccs = avoid_ccs.size();
-  std::vector<std::vector<char>> bin_match(
-      num_ccs, std::vector<char>(binning.num_bins(), 0));
-  std::vector<std::vector<char>> combo_match(
-      num_ccs, std::vector<char>(combos.num_combos(), 0));
+  size_t bin_words = (binning.num_bins() + 63) / 64;
+  size_t combo_words = (combos.num_combos() + 63) / 64;
+  std::vector<uint64_t> bin_match(num_ccs * bin_words, 0);
+  std::vector<uint64_t> combo_match(num_ccs * combo_words, 0);
   for (size_t c = 0; c < num_ccs; ++c) {
     CEXTEND_ASSIGN_OR_RETURN(std::vector<size_t> bins,
                              binning.MatchingBins(avoid_ccs[c].r1_condition));
-    for (size_t b : bins) bin_match[c][b] = 1;
+    for (size_t b : bins)
+      bin_match[c * bin_words + (b >> 6)] |= uint64_t{1} << (b & 63);
     CEXTEND_ASSIGN_OR_RETURN(
         std::vector<size_t> cs,
         combos.MatchingCombos(avoid_ccs[c].r2_condition));
-    for (size_t i : cs) combo_match[c][i] = 1;
+    for (size_t i : cs)
+      combo_match[c * combo_words + (i >> 6)] |= uint64_t{1} << (i & 63);
   }
+  auto bin_matches_cc = [&](size_t c, size_t bin) {
+    return (bin_match[c * bin_words + (bin >> 6)] >> (bin & 63)) & 1;
+  };
 
   // A synthesized fully-unused combo, if one exists: per B column, a value in
   // the active domain used by no avoid-CC (the paper's combo_unused lifted to
@@ -262,24 +271,28 @@ StatusOr<std::vector<uint32_t>> CompleteLeftoverRows(
   // key count so round-robin respects R2's per-combo capacity. Only the CCs
   // whose R1 condition covers the bin can veto a combo, and most bins are
   // covered by a handful of CCs, so the relevant-CC list is collected first.
-  std::map<size_t, std::vector<size_t>> bin_free_combos;
+  std::unordered_map<size_t, std::vector<size_t>> bin_free_combos;
+  std::vector<uint64_t> bad_mask(combo_words);
   auto free_combos_for_bin = [&](size_t bin) -> const std::vector<size_t>& {
     auto it = bin_free_combos.find(bin);
     if (it != bin_free_combos.end()) return it->second;
-    std::vector<size_t> relevant;
+    // OR the combo masks of every CC covering the bin, then collect the
+    // zero bits: word-wise instead of a per-(cc, combo) byte matrix walk.
+    std::fill(bad_mask.begin(), bad_mask.end(), 0);
     for (size_t c = 0; c < num_ccs; ++c) {
-      if (bin_match[c][bin]) relevant.push_back(c);
+      if (!bin_matches_cc(c, bin)) continue;
+      const uint64_t* mask = combo_match.data() + c * combo_words;
+      for (size_t w = 0; w < combo_words; ++w) bad_mask[w] |= mask[w];
     }
     std::vector<size_t> free;
-    for (size_t i = 0; i < combos.num_combos(); ++i) {
-      bool bad = false;
-      for (size_t c : relevant) {
-        if (combo_match[c][i]) {
-          bad = true;
-          break;
-        }
+    for (size_t w = 0; w < combo_words; ++w) {
+      uint64_t good = ~bad_mask[w];
+      while (good != 0) {
+        size_t i = (w << 6) + static_cast<size_t>(__builtin_ctzll(good));
+        good &= good - 1;
+        if (i >= combos.num_combos()) break;
+        free.push_back(i);
       }
-      if (!bad) free.push_back(i);
     }
     free = combos.ExpandByKeyCount(free);
     return bin_free_combos.emplace(bin, std::move(free)).first->second;
@@ -287,7 +300,7 @@ StatusOr<std::vector<uint32_t>> CompleteLeftoverRows(
 
   // Stagger each bin's rotation start so different bins do not pile their
   // first leftovers onto the same few combos.
-  std::map<size_t, size_t> bin_cursor;
+  std::unordered_map<size_t, size_t> bin_cursor;
   auto cursor_for_bin = [&](size_t bin) -> size_t& {
     auto [it, inserted] = bin_cursor.emplace(bin, bin * 7919);
     return it->second;

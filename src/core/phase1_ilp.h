@@ -7,12 +7,20 @@
 // the bin, plus one aggregated "unused" variable per bin standing for every
 // other combination (those are interchangeable w.r.t. every CC, so a single
 // variable loses nothing — this is the paper's combo_unused lifted into the
-// ILP, and it is what keeps the model solvable by a dense simplex).
+// ILP).
 // Rows:
 //   * per bin (optional — the all-way marginals of Section 4.1):
 //       sum over the bin's variables = bin pool size           (hard)
 //   * per CC:  sum of covered variables + u - v = target,  u,v >= 0 (soft)
 // Objective: minimize sum(u + v). A zero objective ⇔ all CCs satisfied.
+//
+// Decomposition. The constraint matrix is block-diagonal across connected
+// components of the (bins, CCs) incidence graph: two CCs couple only when
+// they share a bin (hence possibly a variable or a bin row). RunPhase1Ilp
+// partitions the system with a union-find, builds one sub-ILP per component,
+// and solves them independently — optionally in parallel on a thread pool.
+// Sub-solves are single-threaded and deterministic and are merged in
+// component order, so results are bit-identical at any thread count.
 
 #ifndef CEXTEND_CORE_PHASE1_ILP_H_
 #define CEXTEND_CORE_PHASE1_ILP_H_
@@ -32,6 +40,12 @@ struct Phase1IlpOptions {
   /// Include the per-bin marginal rows (Algorithm 1 lines 8-10). The plain
   /// baseline of Section 6.1 turns this off.
   bool include_marginals = true;
+  /// Split the model into connected (bins, CCs) components and solve each
+  /// sub-ILP independently. Off = one monolithic model (ablation/reference).
+  bool decompose = true;
+  /// Worker threads for independent component solves (1 = serial). The
+  /// result is bit-identical regardless of this value.
+  size_t num_threads = 1;
   ilp::IlpOptions ilp;
 };
 
@@ -41,10 +55,13 @@ struct Phase1IlpStats {
   double fill_seconds = 0.0;
   size_t num_variables = 0;
   size_t num_rows = 0;
+  size_t num_components = 0;      ///< independent sub-ILPs solved
+  size_t largest_component = 0;   ///< variables in the largest sub-ILP
   ilp::IlpStatus status = ilp::IlpStatus::kNoSolution;
   double slack_total = 0.0;  ///< optimal sum of CC deviations
   int64_t lp_iterations = 0;
   int64_t bnb_nodes = 0;
+  int64_t warm_solves = 0;   ///< B&B nodes re-optimized from a parent basis
 };
 
 /// Runs Algorithm 1 for `ccs` over the unassigned rows in `state`. Rows

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 
@@ -183,8 +184,19 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
                    });
   task_allocs.resize(worklist.size());
 
+  // One pool serves both levels of parallelism: partitions fan out across
+  // it, and each partition's conflict-graph build can fan its per-DC pair
+  // emission out on the same pool (ParallelFor is nested-safe: the caller
+  // participates and waits on a per-call latch). Oracle output is
+  // byte-identical to the serial build, so determinism is unaffected.
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
+
   ConflictOracleOptions oracle_options;
   oracle_options.force_naive = options.use_naive_oracle;
+  oracle_options.pool = pool.get();
 
   Status first_error = Status::Ok();
   std::mutex error_mu;
@@ -242,9 +254,8 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
   };
   {
     ScopedTimer timer(&stats.coloring_seconds);
-    if (options.num_threads > 1) {
-      ThreadPool pool(options.num_threads);
-      ParallelFor(&pool, worklist.size(), [&](size_t idx) {
+    if (pool != nullptr) {
+      ParallelFor(pool.get(), worklist.size(), [&](size_t idx) {
         Rng task_rng = task_rng_for(idx);
         color_partition(idx, task_rng);
       });

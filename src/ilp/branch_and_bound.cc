@@ -1,8 +1,10 @@
 #include "ilp/branch_and_bound.h"
 
 #include <cmath>
+#include <memory>
 #include <queue>
 
+#include "ilp/revised_simplex.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -57,6 +59,9 @@ struct Node {
   std::vector<double> lower;
   std::vector<double> upper;
   double bound = 0.0;  // parent LP objective (lower bound on descendants)
+  /// Parent's optimal basis; children restart the dual simplex from it.
+  /// Shared between siblings (read-only once published).
+  std::shared_ptr<const SimplexBasis> warm;
 
   bool operator<(const Node& other) const {
     return bound > other.bound;  // min-heap via priority_queue
@@ -92,6 +97,12 @@ IlpResult SolveIlp(const Model& model, const IlpOptions& options) {
   IlpResult result;
   Stopwatch watch;
   size_t n = model.num_variables();
+
+  // One compiled sparse instance serves every node (the CSC matrix never
+  // changes; only bounds do). The dense oracle path solves cold per node.
+  const bool sparse = !options.simplex.use_dense_tableau;
+  std::unique_ptr<RevisedSimplex> revised;
+  if (sparse) revised = std::make_unique<RevisedSimplex>(model, options.simplex);
 
   std::priority_queue<Node> queue;
   Node root;
@@ -130,7 +141,26 @@ IlpResult SolveIlp(const Model& model, const IlpOptions& options) {
     if (have_incumbent && node.bound >= incumbent_obj - 1e-9) continue;
     ++result.nodes;
 
-    LpResult lp = SolveLp(model, options.simplex, node.lower, node.upper);
+    LpResult lp;
+    std::shared_ptr<const SimplexBasis> solved_basis;
+    if (sparse) {
+      bool warm_ok = false;
+      if (options.warm_start && node.warm != nullptr) {
+        std::optional<LpResult> warm =
+            revised->SolveWarm(*node.warm, node.lower, node.upper);
+        if (warm.has_value()) {
+          lp = *std::move(warm);
+          warm_ok = true;
+          ++result.warm_solves;
+        }
+      }
+      if (!warm_ok) lp = revised->Solve(node.lower, node.upper);
+      if (lp.status == LpStatus::kOptimal && revised->basis().valid) {
+        solved_basis = std::make_shared<SimplexBasis>(revised->basis());
+      }
+    } else {
+      lp = SolveLp(model, options.simplex, node.lower, node.upper);
+    }
     result.lp_iterations += lp.iterations;
     if (lp.status == LpStatus::kUnbounded) {
       // An unbounded relaxation at the root means the ILP is unbounded or
@@ -171,9 +201,11 @@ IlpResult SolveIlp(const Model& model, const IlpOptions& options) {
     Node down = node;
     down.bound = lp.objective;
     down.upper[static_cast<size_t>(frac_var)] = std::floor(v);
+    down.warm = solved_basis;
     Node up = std::move(node);
     up.bound = lp.objective;
     up.lower[static_cast<size_t>(frac_var)] = std::ceil(v);
+    up.warm = std::move(solved_basis);
     queue.push(std::move(down));
     queue.push(std::move(up));
   }

@@ -30,10 +30,17 @@ struct IlpResult {
   double objective = 0.0;
   int64_t nodes = 0;
   int64_t lp_iterations = 0;
+  /// Nodes whose LP was re-optimized from the parent basis (dual simplex)
+  /// rather than solved cold.
+  int64_t warm_solves = 0;
 };
 
 struct IlpOptions {
   SimplexOptions simplex;
+  /// Re-optimize child nodes from the parent's optimal basis with a dual
+  /// simplex phase instead of a cold two-phase solve (sparse path only; the
+  /// dense tableau oracle always solves cold).
+  bool warm_start = true;
   int64_t max_nodes = 2000;
   double time_limit_seconds = 120.0;
   double integrality_tol = 1e-6;
@@ -50,7 +57,10 @@ struct IlpOptions {
 /// integrality requirements within `tol`.
 bool IsFeasible(const Model& model, const std::vector<double>& x, double tol);
 
-/// Solves the integer program by best-first branch & bound.
+/// Solves the integer program by best-bound (best-first) branch & bound.
+/// Nodes re-optimize from the parent basis via dual simplex when
+/// `options.warm_start` is set, falling back to a cold solve on numerical
+/// trouble.
 IlpResult SolveIlp(const Model& model, const IlpOptions& options = {});
 
 }  // namespace ilp

@@ -1,6 +1,6 @@
 #include "ilp/model.h"
 
-#include <map>
+#include <algorithm>
 #include <sstream>
 
 #include "util/logging.h"
@@ -28,18 +28,33 @@ int Model::AddVariable(double objective, bool is_integer, double upper,
 }
 
 void Model::AddConstraint(LinearConstraint constraint) {
-  // Merge duplicate variables, drop zero coefficients.
-  std::map<int, double> merged;
+  // Merge duplicate variables, drop zero coefficients. Sort-based merge in
+  // place (rows are built thousands at a time on the phase-1 hot path; a
+  // node-based map per row costs more than the row itself).
   for (const LinearTerm& t : constraint.terms) {
     CEXTEND_CHECK(t.var >= 0 &&
                   t.var < static_cast<int>(variables_.size()))
         << "constraint references unknown variable " << t.var;
-    merged[t.var] += t.coeff;
   }
-  constraint.terms.clear();
-  for (const auto& [var, coeff] : merged) {
-    if (coeff != 0.0) constraint.terms.push_back({var, coeff});
+  std::sort(constraint.terms.begin(), constraint.terms.end(),
+            [](const LinearTerm& a, const LinearTerm& b) {
+              return a.var < b.var;
+            });
+  std::vector<LinearTerm> merged;
+  merged.reserve(constraint.terms.size());
+  for (const LinearTerm& t : constraint.terms) {
+    if (!merged.empty() && merged.back().var == t.var) {
+      merged.back().coeff += t.coeff;
+    } else {
+      merged.push_back(t);
+    }
   }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const LinearTerm& t) {
+                                return t.coeff == 0.0;
+                              }),
+               merged.end());
+  constraint.terms = std::move(merged);
   constraints_.push_back(std::move(constraint));
 }
 

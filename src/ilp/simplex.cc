@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ilp/revised_simplex.h"
 #include "util/logging.h"
 
 namespace cextend {
@@ -131,11 +132,12 @@ IterateOutcome Iterate(Tableau& t, const SimplexOptions& opt,
   return IterateOutcome::kIterationLimit;
 }
 
-}  // namespace
-
-LpResult SolveLp(const Model& model, const SimplexOptions& options,
-                 const std::vector<double>& extra_lower,
-                 const std::vector<double>& extra_upper) {
+/// The original dense two-phase tableau, kept verbatim as the reference
+/// oracle for the sparse revised simplex (property tests pit them against
+/// each other on random LPs/ILPs).
+LpResult SolveLpDenseTableau(const Model& model, const SimplexOptions& options,
+                             const std::vector<double>& extra_lower,
+                             const std::vector<double>& extra_upper) {
   LpResult result;
   size_t n_struct = model.num_variables();
 
@@ -310,6 +312,18 @@ LpResult SolveLp(const Model& model, const SimplexOptions& options,
   }
   result.objective = t.ObjectiveValue() + obj_const;
   return result;
+}
+
+}  // namespace
+
+LpResult SolveLp(const Model& model, const SimplexOptions& options,
+                 const std::vector<double>& extra_lower,
+                 const std::vector<double>& extra_upper) {
+  if (options.use_dense_tableau) {
+    return SolveLpDenseTableau(model, options, extra_lower, extra_upper);
+  }
+  RevisedSimplex solver(model, options);
+  return solver.Solve(extra_lower, extra_upper);
 }
 
 }  // namespace ilp

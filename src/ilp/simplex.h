@@ -1,10 +1,11 @@
-// Dense two-phase primal simplex for LP relaxations.
+// LP relaxation solving:  min c^T x  s.t.  A x {<=,=,>=} b,  0 <= x <= u.
 //
-// Solves  min c^T x  s.t.  A x {<=,=,>=} b,  0 <= x (<= u via extra rows).
-// Phase 1 minimizes the sum of artificial variables to find a basic feasible
-// solution; phase 2 optimizes the real objective. Dantzig pricing with an
-// automatic switch to Bland's rule after a run of degenerate pivots
-// guarantees termination.
+// SolveLp dispatches to the sparse revised simplex (see revised_simplex.h)
+// by default; the original dense two-phase tableau is kept behind
+// SimplexOptions::use_dense_tableau as a debug/reference oracle (it stores
+// the full O(m·n) tableau and compiles upper bounds into extra rows). Both
+// paths use Dantzig pricing with an automatic switch to Bland's rule after a
+// run of degenerate pivots to guarantee termination.
 
 #ifndef CEXTEND_ILP_SIMPLEX_H_
 #define CEXTEND_ILP_SIMPLEX_H_
@@ -39,6 +40,11 @@ struct SimplexOptions {
   double eps = 1e-9;
   /// Consecutive degenerate pivots before switching to Bland's rule.
   int degenerate_switch = 64;
+  /// Pivots between eta-file refactorizations (revised simplex only).
+  int refactor_interval = 64;
+  /// Route SolveLp through the dense two-phase tableau instead of the sparse
+  /// revised simplex. Debug/reference oracle; O(m·n) per pivot.
+  bool use_dense_tableau = false;
 };
 
 /// Solves the LP relaxation of `model` (integrality ignored). Additional

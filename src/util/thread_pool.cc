@@ -67,19 +67,41 @@ void ParallelFor(ThreadPool* pool, size_t n,
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  // Chunked dynamic scheduling via a shared counter.
-  auto counter = std::make_shared<std::atomic<size_t>>(0);
-  size_t num_tasks = pool->num_threads();
-  for (size_t t = 0; t < num_tasks; ++t) {
-    pool->Submit([counter, n, &fn] {
-      for (;;) {
-        size_t i = counter->fetch_add(1);
-        if (i >= n) return;
-        fn(i);
+  // Dynamic scheduling via a shared counter. The caller participates in the
+  // work loop and waits on a per-call latch (not pool-wide idleness), so
+  // ParallelFor may be nested — a task running on the pool can fan its own
+  // sub-work out to the same pool without deadlocking, and the iterations
+  // complete even if every worker is busy elsewhere. The shared state owns a
+  // copy of `fn`: helper tasks may be scheduled after the call returned (all
+  // indices already claimed), and then must not touch the caller's frame.
+  struct State {
+    std::function<void(size_t)> fn;
+    size_t n;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable all_done;
+  };
+  auto state = std::make_shared<State>();
+  state->fn = fn;
+  state->n = n;
+  auto run = [state] {
+    for (;;) {
+      size_t i = state->next.fetch_add(1);
+      if (i >= state->n) return;
+      state->fn(i);
+      if (state->done.fetch_add(1) + 1 == state->n) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->all_done.notify_all();
       }
-    });
-  }
-  pool->WaitAll();
+    }
+  };
+  size_t helpers = std::min(pool->num_threads(), n - 1);
+  for (size_t t = 0; t < helpers; ++t) pool->Submit(run);
+  run();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->all_done.wait(lock,
+                       [&] { return state->done.load() == state->n; });
 }
 
 }  // namespace cextend

@@ -1,0 +1,43 @@
+// Union-find (disjoint sets) with path halving. Union keeps the smaller
+// root, so a set's representative is its minimum element — callers that
+// enumerate components in element order therefore see deterministic,
+// insertion-independent representatives.
+
+#ifndef CEXTEND_UTIL_UNION_FIND_H_
+#define CEXTEND_UTIL_UNION_FIND_H_
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace cextend {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (a < b) parent_[b] = a;
+    else parent_[a] = b;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace cextend
+
+#endif  // CEXTEND_UTIL_UNION_FIND_H_

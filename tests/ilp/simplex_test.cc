@@ -64,7 +64,7 @@ TEST(SimplexTest, Unbounded) {
 
 TEST(SimplexTest, VariableUpperBound) {
   Model m;
-  int x = m.AddVariable(-1.0, false, /*upper=*/7.0);
+  m.AddVariable(-1.0, false, /*upper=*/7.0);
   LpResult r = SolveLp(m);
   ASSERT_EQ(r.status, LpStatus::kOptimal);
   EXPECT_NEAR(r.values[0], 7.0, 1e-9);

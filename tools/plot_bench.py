@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
-"""Render the BENCH_phase2.json perf trajectory.
+"""Render the BENCH_phase2.json / BENCH_phase1.json perf trajectories.
 
 Every harness bench run appends one JSON object per line to
-``BENCH_phase2.json`` (see bench/harness.cc). This tool turns that
-append-only trajectory into a readable report:
+``BENCH_phase2.json`` (see bench/harness.cc), and every bench_ilp_kernels
+run appends phase-1 solver-kernel records (with a ``kernel`` field) to
+``BENCH_phase1.json``. This tool turns those append-only trajectories into
+a readable report:
 
   * with matplotlib available (or --png given): a two-panel figure —
     phase-2 seconds per record (trajectory, one line per method) and the
     phase-2 time breakdown (partition / coloring / invalid) for the most
-    recent record of each (method, scale) cell;
+    recent record of each (method, scale) cell; phase-1 records render as
+    dense-vs-sparse speedup bars per (kernel, scale);
   * otherwise (or with --ascii): an ASCII table plus a sparkline of the
     trajectory, so the tool works on a bare CI box.
 
-Usage:
-  tools/plot_bench.py [BENCH_phase2.json] [--png out.png] [--ascii]
+Record type is auto-detected per file (phase-1 records carry ``kernel``),
+so any mix of trajectory files can be passed:
+
+  tools/plot_bench.py [BENCH_phase2.json [BENCH_phase1.json ...]]
+                      [--png out.png] [--ascii]
 """
 
 import argparse
@@ -128,27 +134,107 @@ def png_report(records, out_path):
     print(f"wrote {out_path}")
 
 
+def phase1_ascii_report(records):
+    print(f"{len(records)} phase-1 records\n")
+    header = (f"{'kernel':<16} {'bins':>5} {'combos':>6} {'ccs':>4} "
+              f"{'thr':>3} {'dense s':>9} {'sparse s':>9} {'speedup':>8}")
+    print(header)
+    print("-" * len(header))
+    # Latest record per (kernel, scale, threads) cell.
+    latest = {}
+    for r in records:
+        key = (r.get("kernel", "?"), r.get("bins", 0), r.get("combos", 0),
+               r.get("ccs", 0), r.get("threads", 1))
+        latest[key] = r
+    for (kernel, bins, combos, ccs, threads), r in sorted(latest.items()):
+        print(f"{kernel:<16} {bins:>5} {combos:>6} {ccs:>4} {threads:>3} "
+              f"{r.get('dense_seconds', 0.0):>9.4f} "
+              f"{r.get('sparse_seconds', 0.0):>9.4f} "
+              f"{r.get('speedup', 0.0):>7.1f}x")
+    print("\nilp_solve speedup trajectory (append order):")
+    values = [r.get("speedup", 0.0) for r in records
+              if r.get("kernel") == "ilp_solve"]
+    if values:
+        print(f"  {sparkline(values)}  [{min(values):.1f}x .. {max(values):.1f}x]")
+
+
+def phase1_png_report(records, out_path):
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    latest = {}
+    for r in records:
+        if r.get("kernel") in ("model_build",):
+            continue
+        key = (r.get("kernel", "?"), r.get("bins", 0), r.get("threads", 1))
+        latest[key] = r
+    cells = sorted(latest.items())
+    labels = [f"{k}@{b}bins" + (f"/t{t}" if k == "ilp_decomposed" else "")
+              for (k, b, t), _ in cells]
+    speedups = [r.get("speedup", 0.0) for _, r in cells]
+    fig, ax = plt.subplots(figsize=(max(6, len(cells) * 0.7), 4.5))
+    ax.bar(range(len(cells)), speedups)
+    ax.axhline(5.0, color="red", linestyle="--", linewidth=1,
+               label="5x acceptance bar")
+    ax.set_xticks(range(len(cells)))
+    ax.set_xticklabels(labels, rotation=45, ha="right", fontsize=7)
+    ax.set_ylabel("speedup vs dense tableau")
+    ax.set_title("phase-1 ILP kernels: sparse/decomposed vs dense")
+    ax.set_yscale("log")
+    ax.legend()
+    ax.grid(True, axis="y", alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=150)
+    print(f"wrote {out_path}")
+
+
+def is_phase1(records):
+    return any("kernel" in r for r in records)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("trajectory", nargs="?", default="BENCH_phase2.json",
-                        help="JSON-lines trajectory file (default: %(default)s)")
+    parser.add_argument("trajectories", nargs="*",
+                        default=["BENCH_phase2.json"],
+                        help="JSON-lines trajectory files "
+                             "(default: BENCH_phase2.json)")
     parser.add_argument("--png", metavar="OUT",
                         help="write a PNG figure (requires matplotlib)")
     parser.add_argument("--ascii", action="store_true",
                         help="force the ASCII report even with matplotlib")
     args = parser.parse_args()
 
-    records = load_records(args.trajectory)
-    if not args.ascii:
-        try:
-            png_report(records, args.png or "BENCH_phase2.png")
-            return
-        except ImportError:
-            if args.png:
-                sys.exit("error: --png requires matplotlib")
-            print("matplotlib not available; falling back to ASCII report\n",
-                  file=sys.stderr)
-    ascii_report(records)
+    for i, path in enumerate(args.trajectories):
+        records = load_records(path)
+        phase1 = is_phase1(records)
+        if i > 0:
+            print()
+        print(f"== {path} ==")
+        if not args.ascii:
+            try:
+                out = args.png or ("BENCH_phase1.png" if phase1
+                                   else "BENCH_phase2.png")
+                if args.png and len(args.trajectories) > 1:
+                    # One figure per file: suffix the requested name so a
+                    # multi-file invocation does not overwrite itself.
+                    stem, dot, ext = args.png.rpartition(".")
+                    out = (f"{stem}.{i}.{ext}" if dot
+                           else f"{args.png}.{i}")
+                if phase1:
+                    phase1_png_report(records, out)
+                else:
+                    png_report(records, out)
+                continue
+            except ImportError:
+                if args.png:
+                    sys.exit("error: --png requires matplotlib")
+                print("matplotlib not available; falling back to ASCII "
+                      "report\n", file=sys.stderr)
+        if phase1:
+            phase1_ascii_report(records)
+        else:
+            ascii_report(records)
 
 
 if __name__ == "__main__":
