@@ -9,7 +9,9 @@
 // set it to `off` to disable). `tools/plot_bench.py` renders the trajectory
 // alongside the phase-2 one.
 //
-// Flags: --smoke (smallest scale only, for the ctest canary), --seed=N.
+// Flags: --smoke (smallest scale only, for the ctest canary), --scales=N
+// (first N scales — baseline regeneration skips the slow dense solve at the
+// largest scale), --seed=N.
 
 #include <algorithm>
 #include <cmath>
@@ -270,10 +272,13 @@ void RunScale(const Scale& scale, uint64_t seed) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  size_t max_scales = 0;  // 0 == all
   uint64_t seed = 29;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (strncmp(argv[i], "--scales=", 9) == 0) {
+      max_scales = static_cast<size_t>(atoll(argv[i] + 9));
     } else if (strncmp(argv[i], "--seed=", 7) == 0) {
       seed = static_cast<uint64_t>(atoll(argv[i] + 7));
     } else {
@@ -290,6 +295,7 @@ int main(int argc, char** argv) {
       {400, 24, 100, 8},
   };
   if (smoke) scales.resize(1);
+  if (max_scales > 0 && max_scales < scales.size()) scales.resize(max_scales);
   for (const cextend::Scale& scale : scales) {
     cextend::RunScale(scale, seed);
   }

@@ -1,8 +1,20 @@
 // Micro-benchmarks (google-benchmark) for the algorithmic kernels: simplex
 // LP solves, conflict-oracle construction, greedy list coloring, CC pairwise
 // classification, and binning.
+//
+// Every per-size run additionally appends one JSON-lines record
+//   {"kernel": "<name>", "n": <arg>, "seconds": <time per iteration>}
+// to the phase-2 perf trajectory (default `BENCH_phase2.json`, overridable
+// via CEXTEND_BENCH_MICRO_JSON; set it to `off` to disable). The committed
+// trajectory is the baseline that `tools/bench_diff.py` gates CI against;
+// regenerate it with a Release build as documented in bench/README.md.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "constraints/relationship.h"
 #include "core/binning.h"
@@ -374,7 +386,51 @@ void BM_Binning(benchmark::State& state) {
 }
 BENCHMARK(BM_Binning)->Arg(2500)->Arg(10000);
 
+// ---- JSON-lines trajectory reporter. ----
+//
+// Wraps the console reporter and appends one record per concrete benchmark
+// run (aggregates and BigO/RMS complexity rows are skipped). The record key
+// is the benchmark name split at the first '/': "BM_PartitionColoring/4096"
+// becomes kernel "PartitionColoring", n 4096 (the leading "BM_" is dropped
+// so records read like the ROADMAP kernels).
+class JsonLinesReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    const char* path = getenv("CEXTEND_BENCH_MICRO_JSON");
+    if (path != nullptr && strcmp(path, "off") == 0) return;
+    if (path == nullptr || *path == '\0') path = "BENCH_phase2.json";
+    FILE* f = fopen(path, "a");
+    if (f == nullptr) return;  // perf log is best-effort
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      std::string name = run.benchmark_name();
+      if (name.rfind("BM_", 0) == 0) name = name.substr(3);
+      size_t slash = name.find('/');
+      long long n = 0;
+      if (slash != std::string::npos) {
+        n = atoll(name.c_str() + slash + 1);
+        name = name.substr(0, slash);
+      }
+      // GetAdjustedRealTime is per-iteration time scaled into the run's
+      // display unit (ns by default); divide the unit back out for seconds.
+      double seconds = run.GetAdjustedRealTime() /
+                       benchmark::GetTimeUnitMultiplier(run.time_unit);
+      fprintf(f, "{\"kernel\": \"%s\", \"n\": %lld, \"seconds\": %.9f}\n",
+              name.c_str(), n, seconds);
+    }
+    fclose(f);
+  }
+};
+
 }  // namespace
 }  // namespace cextend
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  cextend::JsonLinesReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

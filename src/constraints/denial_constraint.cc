@@ -218,6 +218,34 @@ bool BoundDenialConstraint::SideMatches(const Table& table, uint32_t row,
   return true;
 }
 
+void BoundDenialConstraint::SideMatchesBatch(
+    const Table& table, const std::vector<uint32_t>& rows, int var,
+    std::vector<uint8_t>* match) const {
+  const size_t n = rows.size();
+  match->assign(n, 1);
+  for (const BoundUnary& a : unary_) {
+    if (a.tuple != var) continue;
+    if (a.never_matches) {
+      std::fill(match->begin(), match->end(), 0);
+      return;
+    }
+    const std::vector<int64_t>& col = table.ColumnCodes(a.col);
+    uint8_t* m = match->data();
+    if (a.op == CompareOp::kEq && a.rhs != kNullCode) {
+      // rhs is a real dictionary code, so cell == rhs already excludes
+      // NULLs; the sweep stays branch-free.
+      const int64_t rhs = a.rhs;
+      for (size_t i = 0; i < n; ++i) {
+        m[i] &= static_cast<uint8_t>(col[rows[i]] == rhs);
+      }
+      continue;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (m[i] != 0 && !EvalUnary(a, col[rows[i]])) m[i] = 0;
+    }
+  }
+}
+
 bool BoundDenialConstraint::CompareCodes(int64_t lhs, CompareOp op,
                                          int64_t rhs) {
   switch (op) {

@@ -119,6 +119,14 @@ class BoundDenialConstraint {
   /// used to pre-filter candidates in the streaming conflict builder.
   bool SideMatches(const Table& table, uint32_t row, int var) const;
 
+  /// Column-sweep batch form of SideMatches: match[i] =
+  /// SideMatches(table, rows[i], var) for every i. One pass per unary atom
+  /// over the raw column codes (the dominant equality op is branch-free)
+  /// instead of a per-row atom loop — the conflict builder's side-mask hot
+  /// path.
+  void SideMatchesBatch(const Table& table, const std::vector<uint32_t>& rows,
+                        int var, std::vector<uint8_t>* match) const;
+
   /// Evaluates only the binary (cross-tuple) atoms for the ordered rows.
   bool CrossAtomsHold(const Table& table,
                       const std::vector<uint32_t>& rows) const;

@@ -186,17 +186,91 @@ bool SideEligible(const Table& table, const BoundDenialConstraint& dc,
          cols_non_null(plan.other);
 }
 
+/// Batch SideEligible over every local vertex: match[i] = SideEligible(table,
+/// dc, plan, rows[i], var). Column sweeps (one linear pass per atom over the
+/// raw codes) replace the per-row atom loops — this is the O(n)-per-DC
+/// prologue of every oracle build, so it runs at memory speed.
+void BuildSideMask(const Table& table, const BoundDenialConstraint& dc,
+                   const BinaryDcPlan& plan, const std::vector<uint32_t>& rows,
+                   int var, std::vector<uint8_t>* match) {
+  dc.SideMatchesBatch(table, rows, var, match);
+  const size_t n = rows.size();
+  uint8_t* m = match->data();
+  const std::vector<CrossAtom>& same = var == 0 ? plan.same0 : plan.same1;
+  for (const CrossAtom& a : same) {
+    const int64_t* lhs = table.ColumnCodes(a.lhs_col).data();
+    const int64_t* rhs = table.ColumnCodes(a.rhs_col).data();
+    for (size_t i = 0; i < n; ++i) {
+      if (m[i] != 0 && !BoundDenialConstraint::CrossAtomHolds(
+                           a, lhs[rows[i]], rhs[rows[i]])) {
+        m[i] = 0;
+      }
+    }
+  }
+  // A NULL operand can never satisfy a cross atom, so null cells in any
+  // cross-referenced column disqualify the vertex for this side.
+  auto non_null_sweep = [&](const std::vector<OrientedAtom>& atoms) {
+    for (const OrientedAtom& a : atoms) {
+      size_t col = var == 0 ? a.u_col : a.v_col;
+      const int64_t* codes = table.ColumnCodes(col).data();
+      for (size_t i = 0; i < n; ++i) {
+        if (m[i] != 0 && codes[rows[i]] == kNullCode) m[i] = 0;
+      }
+    }
+  };
+  non_null_sweep(plan.eq);
+  non_null_sweep(plan.ord);
+  non_null_sweep(plan.other);
+}
+
+/// Epoch-stamped membership scratch for WouldViolate probes: stamping the
+/// `same_color` set is O(|set|) array writes (no per-probe tree or hash
+/// build), and the stamp survives across probes on the same thread so repair
+/// loops never allocate after warm-up.
+class ProbeStamp {
+ public:
+  /// Begins a new probe over vertices < n; marks every member.
+  void Stamp(size_t n, const std::vector<size_t>& members) {
+    Begin(n);
+    for (size_t u : members) stamp_[u] = epoch_;
+  }
+
+  /// Begins a new probe over vertices < n; marks the [begin, end) run
+  /// (e.g. a CSR neighbor row).
+  void StampRun(size_t n, const uint32_t* begin, const uint32_t* end) {
+    Begin(n);
+    for (const uint32_t* p = begin; p != end; ++p) stamp_[*p] = epoch_;
+  }
+
+  bool Contains(size_t u) const { return stamp_[u] == epoch_; }
+
+  static ProbeStamp& ThreadLocal() {
+    thread_local ProbeStamp stamp;
+    return stamp;
+  }
+
+ private:
+  void Begin(size_t n) {
+    if (stamp_.size() < n) stamp_.resize(n, 0);
+    if (++epoch_ == 0) {  // wrapped: all stale marks must die
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+};
+
 /// Shared by both oracles: true when some hyperedge containing `v` has all
-/// of its other vertices in `same_color`.
+/// of its other vertices in `stamp` (the probed same-color set).
 bool HyperedgeWouldViolate(const Hypergraph* higher, size_t v,
-                           const std::vector<size_t>& same_color) {
-  if (higher == nullptr) return false;
-  std::set<size_t> in_set(same_color.begin(), same_color.end());
+                           const ProbeStamp& stamp) {
   for (int e : higher->incident_edges(v)) {
     bool all_in = true;
     for (int u : higher->edge(static_cast<size_t>(e))) {
       if (static_cast<size_t>(u) == v) continue;
-      if (!in_set.contains(static_cast<size_t>(u))) {
+      if (!stamp.Contains(static_cast<size_t>(u))) {
         all_in = false;
         break;
       }
@@ -242,17 +316,13 @@ Status EmitBinaryDcPairs(const Table& table, const BoundDenialConstraint& dc,
   size_t n = rows.size();
   if (n < 2) return Status::Ok();
 
+  std::vector<uint8_t> in0, in1;
+  BuildSideMask(table, dc, plan, rows, 0, &in0);
+  BuildSideMask(table, dc, plan, rows, 1, &in1);
   std::vector<uint32_t> side0, side1;
-  std::vector<uint8_t> in0(n, 0), in1(n, 0);
   for (size_t i = 0; i < n; ++i) {
-    if (SideEligible(table, dc, plan, rows[i], 0)) {
-      side0.push_back(static_cast<uint32_t>(i));
-      in0[i] = 1;
-    }
-    if (SideEligible(table, dc, plan, rows[i], 1)) {
-      side1.push_back(static_cast<uint32_t>(i));
-      in1[i] = 1;
-    }
+    if (in0[i]) side0.push_back(static_cast<uint32_t>(i));
+    if (in1[i]) side1.push_back(static_cast<uint32_t>(i));
   }
   if (side0.empty() || side1.empty()) return Status::Ok();
 
@@ -300,39 +370,54 @@ Status EmitBinaryDcPairs(const Table& table, const BoundDenialConstraint& dc,
     return Status::Ok();
   }
 
-  // Bucket side-1 vertices by the hash of their equality-atom keys (a single
-  // bucket when there are none); sort each bucket by the first ordering
-  // atom's key so the satisfying candidates form a contiguous run.
+  // Flat bucket index over side 1: one contiguous Entry pool sorted by
+  // (hash of the equality-atom keys, first ordering atom's key). A bucket is
+  // the equal-hash run, located by binary search; the ordering atom narrows
+  // a sub-run inside it. Probes then stream a contiguous slice — no
+  // hash-table nodes, no pointer chasing. The pool is transient build
+  // memory, 3 words per side-1 entry; charge it against the pair budget
+  // (one 64-bit word ≈ one materialized pair) like every other build-time
+  // pool, so adversarial side sizes fall back to the O(n)-memory naive
+  // oracle instead of silently blowing past the cap.
   struct Entry {
+    uint64_t hash;
     int64_t sort_key;
     uint32_t vert;
   };
-  std::unordered_map<uint64_t, std::vector<Entry>> buckets;
-  buckets.reserve(side1.size());
+  {
+    size_t pool_words = 3 * side1.size();
+    size_t prior = global_emitted->fetch_add(pool_words);
+    if (prior + pool_words > max_materialized_pairs) return over_budget();
+  }
+  std::vector<Entry> entries;
+  entries.reserve(side1.size());
   for (uint32_t v : side1) {
     uint32_t row = rows[v];
     uint64_t h = 0;
     for (const OrientedAtom& a : plan.eq) h = MixHash64(h, static_cast<uint64_t>(a.VKey(table, row)));
     int64_t sk = plan.ord.empty() ? 0 : plan.ord[0].VKey(table, row);
-    buckets[h].push_back(Entry{sk, v});
+    entries.push_back(Entry{h, sk, v});
   }
-  if (!plan.ord.empty()) {
-    for (auto& [h, vec] : buckets) {
-      std::sort(vec.begin(), vec.end(), [](const Entry& a, const Entry& b) {
-        return a.sort_key < b.sort_key;
-      });
-    }
-  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.hash != b.hash) return a.hash < b.hash;
+    if (a.sort_key != b.sort_key) return a.sort_key < b.sort_key;
+    return a.vert < b.vert;
+  });
 
+  auto hash_less = [](const Entry& e, uint64_t h) { return e.hash < h; };
+  auto hash_greater = [](uint64_t h, const Entry& e) { return h < e.hash; };
   for (uint32_t u : side0) {
     uint32_t u_row = rows[u];
     uint64_t h = 0;
     for (const OrientedAtom& a : plan.eq) h = MixHash64(h, static_cast<uint64_t>(a.UKey(table, u_row)));
-    auto it = buckets.find(h);
-    if (it == buckets.end()) continue;
-    const std::vector<Entry>& vec = it->second;
+    auto bucket_begin =
+        std::lower_bound(entries.begin(), entries.end(), h, hash_less);
+    if (bucket_begin == entries.end() || bucket_begin->hash != h) continue;
+    auto bucket_end =
+        std::upper_bound(bucket_begin, entries.end(), h, hash_greater);
 
-    size_t lo = 0, hi = vec.size();
+    size_t lo = static_cast<size_t>(bucket_begin - entries.begin());
+    size_t hi = static_cast<size_t>(bucket_end - entries.begin());
     if (!plan.ord.empty()) {
       // Predicate: u_key op v_sort_key. Narrow [lo, hi) to the satisfying
       // run of the sorted bucket.
@@ -344,23 +429,23 @@ Status EmitBinaryDcPairs(const Table& table, const BoundDenialConstraint& dc,
       switch (plan.ord[0].op) {
         case CompareOp::kLt:  // v_key > u_key
           lo = static_cast<size_t>(
-              std::upper_bound(vec.begin(), vec.end(), u_key, key_greater) -
-              vec.begin());
+              std::upper_bound(bucket_begin, bucket_end, u_key, key_greater) -
+              entries.begin());
           break;
         case CompareOp::kLe:  // v_key >= u_key
           lo = static_cast<size_t>(
-              std::lower_bound(vec.begin(), vec.end(), u_key, key_less) -
-              vec.begin());
+              std::lower_bound(bucket_begin, bucket_end, u_key, key_less) -
+              entries.begin());
           break;
         case CompareOp::kGt:  // v_key < u_key
           hi = static_cast<size_t>(
-              std::lower_bound(vec.begin(), vec.end(), u_key, key_less) -
-              vec.begin());
+              std::lower_bound(bucket_begin, bucket_end, u_key, key_less) -
+              entries.begin());
           break;
         case CompareOp::kGe:  // v_key <= u_key
           hi = static_cast<size_t>(
-              std::upper_bound(vec.begin(), vec.end(), u_key, key_greater) -
-              vec.begin());
+              std::upper_bound(bucket_begin, bucket_end, u_key, key_greater) -
+              entries.begin());
           break;
         default:
           break;
@@ -368,7 +453,7 @@ Status EmitBinaryDcPairs(const Table& table, const BoundDenialConstraint& dc,
     }
 
     for (size_t idx = lo; idx < hi; ++idx) {
-      uint32_t v = vec[idx].vert;
+      uint32_t v = entries[idx].vert;
       if (v == u) continue;
       uint32_t v_row = rows[v];
       bool ok = true;
@@ -468,19 +553,10 @@ StatusOr<PartitionConflictOracle> PartitionConflictOracle::BuildWithHypergraph(
       // No cross atoms: the conflict set is the side0 x side1 product. Keep
       // it implicit — O(n) bits instead of Θ(|side0|·|side1|) pairs, and it
       // never touches the materialized-pair budget.
-      in0.assign(n, 0);
-      in1.assign(n, 0);
-      bool any0 = false, any1 = false;
-      for (size_t i = 0; i < n; ++i) {
-        if (SideEligible(table, dc, plan, oracle.rows_[i], 0)) {
-          in0[i] = 1;
-          any0 = true;
-        }
-        if (SideEligible(table, dc, plan, oracle.rows_[i], 1)) {
-          in1[i] = 1;
-          any1 = true;
-        }
-      }
+      BuildSideMask(table, dc, plan, oracle.rows_, 0, &in0);
+      BuildSideMask(table, dc, plan, oracle.rows_, 1, &in1);
+      bool any0 = std::find(in0.begin(), in0.end(), uint8_t{1}) != in0.end();
+      bool any1 = std::find(in1.begin(), in1.end(), uint8_t{1}) != in1.end();
       if (any0 && any1) oracle.implicit_.AddBiclique(in0, in1);
       continue;
     }
@@ -557,11 +633,53 @@ void PartitionConflictOracle::AppendForbiddenColors(
 
 bool PartitionConflictOracle::WouldViolate(
     size_t v, const std::vector<size_t>& same_color) const {
-  for (size_t u : same_color) {
-    if (u != v && (adjacency_.HasEdge(v, u) || implicit_.PairConflicts(v, u)))
-      return true;
+  // Implicit layer: v's entire implicit adjacency is one group-neighborhood
+  // bitset, hoisted once — a member conflicts iff its bit is set, and
+  // vertices in no biclique (the common case for invalid-tuple probes) skip
+  // the layer outright instead of paying a per-member group lookup.
+  const uint32_t g = implicit_.group_of(v);
+  if (g != ImplicitBicliqueFamily::kNoGroup) {
+    const uint64_t* hood = implicit_.GroupNeighborhood(g);
+    for (size_t u : same_color) {
+      if (u != v && ImplicitBicliqueFamily::TestBit(hood, u)) return true;
+    }
   }
-  return HyperedgeWouldViolate(higher_.get(), v, same_color);
+
+  // CSR layer, O(b + deg): stamp the smaller of (members, neighbor run) and
+  // stream the other, instead of b binary searches (O(b log deg)). Small
+  // probes keep the per-member search — b searches beat a stamp pass. A zero
+  // CSR degree skips the layer entirely. Every path computes the same OR, so
+  // the cutovers are purely perf.
+  const size_t b = same_color.size();
+  const size_t csr_deg = static_cast<size_t>(adjacency_.Degree(v));
+  ProbeStamp& stamp = ProbeStamp::ThreadLocal();
+  bool members_stamped = false;
+  if (csr_deg != 0) {
+    if (b < 64) {
+      for (size_t u : same_color) {
+        if (u != v && adjacency_.HasEdge(v, u)) return true;
+      }
+    } else if (csr_deg <= b) {
+      stamp.StampRun(rows_.size(), adjacency_.NeighborsBegin(v),
+                     adjacency_.NeighborsEnd(v));
+      for (size_t u : same_color) {
+        if (stamp.Contains(u)) return true;  // neighbors never include v
+      }
+    } else {
+      stamp.Stamp(rows_.size(), same_color);
+      members_stamped = true;
+      for (const uint32_t* p = adjacency_.NeighborsBegin(v),
+                         *end = adjacency_.NeighborsEnd(v);
+           p != end; ++p) {
+        if (stamp.Contains(*p)) return true;
+      }
+    }
+  }
+
+  // Hypergraph layer: edge-membership tests need the member set stamped.
+  if (higher_ == nullptr || higher_->incident_edges(v).empty()) return false;
+  if (!members_stamped) stamp.Stamp(rows_.size(), same_color);
+  return HyperedgeWouldViolate(higher_.get(), v, stamp);
 }
 
 // ---- NaiveConflictOracle (brute force, reference). ----
@@ -651,7 +769,10 @@ bool NaiveConflictOracle::WouldViolate(
   for (size_t u : same_color) {
     if (u != v && PairConflicts(u, v)) return true;
   }
-  return HyperedgeWouldViolate(higher_.get(), v, same_color);
+  if (higher_ == nullptr || higher_->incident_edges(v).empty()) return false;
+  ProbeStamp& stamp = ProbeStamp::ThreadLocal();
+  stamp.Stamp(rows_.size(), same_color);
+  return HyperedgeWouldViolate(higher_.get(), v, stamp);
 }
 
 // ---- Factory with fallback. ----

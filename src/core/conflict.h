@@ -112,6 +112,12 @@ class PartitionConflictOracle final : public PartitionOracle {
   int64_t Degree(size_t v) const override { return degrees_[v]; }
   void AppendForbiddenColors(size_t v, const std::vector<int64_t>& colors,
                              std::vector<int64_t>* out) const override;
+  /// Publishes the (CSR, implicit, hypergraph) decomposition so the greedy
+  /// coloring can run its incremental fast path; forbidden semantics are
+  /// exactly the union of the three layers.
+  ConflictStructure Structure() const override {
+    return {&adjacency_, &implicit_, higher_.get()};
+  }
 
   // PartitionOracle:
   bool PairConflicts(size_t u, size_t v) const override {

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 
 #include "core/conflict.h"
@@ -137,6 +138,61 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
     stats.num_partitions = partitions.size();
   }
 
+  // ---- solveInvalidTuples pass 1 (Algorithm 4 line 16, selection half). ----
+  // Picks each invalid row's min-badness combo (fewest CCs newly satisfied)
+  // and writes its B cells. The choice depends only on the row's A values and
+  // the CC conditions — never on coloring — so it runs *before* coloring:
+  // that way the set of repair-touched combos is known up front, and those
+  // combos' partitions can hand their conflict oracle to the repair pass
+  // instead of the repair pass rebuilding one per combo. Partitions exclude
+  // invalid rows, so the B-cell mutations cannot perturb partitioning or
+  // coloring. Rows are grouped by target combo preserving input order within
+  // a group (rows of different combos can never share a key, so cross-group
+  // order is irrelevant to the result).
+  std::optional<ComboIndex> combos;
+  std::map<size_t, std::vector<uint32_t>> repair_groups;
+  {
+    ScopedTimer timer(&stats.invalid_seconds);
+    stats.invalid_rows = invalid_rows.size();
+    if (!invalid_rows.empty()) {
+      CEXTEND_ASSIGN_OR_RETURN(ComboIndex built, ComboIndex::Build(r2, names));
+      combos.emplace(std::move(built));
+      // Bind CC conditions once.
+      std::vector<BoundPredicate> cc_r1;
+      std::vector<std::vector<char>> cc_combo(ccs.size());
+      for (size_t c = 0; c < ccs.size(); ++c) {
+        CEXTEND_ASSIGN_OR_RETURN(
+            BoundPredicate p1,
+            BoundPredicate::Bind(ccs[c].r1_condition, v_join));
+        cc_r1.push_back(std::move(p1));
+        cc_combo[c].assign(combos->num_combos(), 0);
+        CEXTEND_ASSIGN_OR_RETURN(std::vector<size_t> match,
+                                 combos->MatchingCombos(ccs[c].r2_condition));
+        for (size_t i : match) cc_combo[c][i] = 1;
+      }
+      for (uint32_t row : invalid_rows) {
+        size_t best_combo = 0;
+        int64_t best_badness = INT64_MAX;
+        for (size_t i = 0; i < combos->num_combos(); ++i) {
+          int64_t badness = 0;
+          for (size_t c = 0; c < ccs.size(); ++c) {
+            if (cc_combo[c][i] && cc_r1[c].Matches(v_join, row)) ++badness;
+          }
+          if (badness < best_badness) {
+            best_badness = badness;
+            best_combo = i;
+            if (badness == 0) break;
+          }
+        }
+        const std::vector<int64_t>& combo = combos->combo_codes(best_combo);
+        for (size_t i = 0; i < b_cols_v.size(); ++i) {
+          v_join.SetCode(row, b_cols_v[i], combo[i]);
+        }
+        repair_groups[best_combo].push_back(row);
+      }
+    }
+  }
+
   // Fresh key allocation. During (possibly parallel) coloring, tasks draw
   // *provisional* keys from a shared atomic counter and record every
   // allocation per task; once coloring ends, the provisional keys are
@@ -183,6 +239,25 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
                      return a->rows.size() > b->rows.size();
                    });
   task_allocs.resize(worklist.size());
+
+  // Partitions whose combo is a repair target retain their coloring oracle
+  // for solveInvalidTuples (slots are per-task, so parallel writes are safe);
+  // every other partition's oracle dies with its coloring task as before.
+  std::vector<std::unique_ptr<PartitionOracle>> kept_oracles(worklist.size());
+  std::vector<uint8_t> keep_oracle(worklist.size(), 0);
+  std::vector<size_t> worklist_idx_of_partition(partitions.size());
+  for (size_t i = 0; i < worklist.size(); ++i) {
+    worklist_idx_of_partition[static_cast<size_t>(
+        worklist[i] - partitions.data())] = i;
+  }
+  if (options.reuse_repair_oracles) {
+    for (const auto& [combo_id, group] : repair_groups) {
+      auto pit = partition_index.find(combos->combo_codes(combo_id));
+      if (pit != partition_index.end()) {
+        keep_oracle[worklist_idx_of_partition[pit->second]] = 1;
+      }
+    }
+  }
 
   // One pool serves both levels of parallelism: partitions fan out across
   // it, and each partition's conflict-graph build can fan its per-DC pair
@@ -241,6 +316,7 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
     for (size_t v = 0; v < p.rows.size(); ++v) {
       row_color[p.rows[v]] = coloring.colors[v];
     }
+    if (keep_oracle[idx]) kept_oracles[idx] = std::move(oracle_or).value();
     {
       std::unique_lock<std::mutex> lock(stats_mu);
       stats.skipped_vertices += skipped_here;
@@ -303,84 +379,76 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
   };
   {
     ScopedTimer timer(&stats.invalid_seconds);
-    stats.invalid_rows = invalid_rows.size();
-    if (!invalid_rows.empty()) {
-      CEXTEND_ASSIGN_OR_RETURN(ComboIndex combos,
-                               ComboIndex::Build(r2, names));
-      // Bind CC conditions once.
-      std::vector<BoundPredicate> cc_r1;
-      std::vector<std::vector<char>> cc_combo(ccs.size());
-      for (size_t c = 0; c < ccs.size(); ++c) {
-        CEXTEND_ASSIGN_OR_RETURN(
-            BoundPredicate p1,
-            BoundPredicate::Bind(ccs[c].r1_condition, v_join));
-        cc_r1.push_back(std::move(p1));
-        cc_combo[c].assign(combos.num_combos(), 0);
-        CEXTEND_ASSIGN_OR_RETURN(std::vector<size_t> match,
-                                 combos.MatchingCombos(ccs[c].r2_condition));
-        for (size_t i : match) cc_combo[c][i] = 1;
-      }
-      // Pass 1: per invalid row, the min-badness combo (fewest CCs newly
-      // satisfied by this row). The choice depends only on the row's A
-      // values, so it can be made for all rows up front; rows are grouped by
-      // target combo while preserving their input order within a group (rows
-      // of different combos can never share a key, so cross-group order is
-      // irrelevant to the result).
-      std::map<size_t, std::vector<uint32_t>> repair_groups;
-      for (uint32_t row : invalid_rows) {
-        size_t best_combo = 0;
-        int64_t best_badness = INT64_MAX;
-        for (size_t i = 0; i < combos.num_combos(); ++i) {
-          int64_t badness = 0;
-          for (size_t c = 0; c < ccs.size(); ++c) {
-            if (cc_combo[c][i] && cc_r1[c].Matches(v_join, row)) ++badness;
-          }
-          if (badness < best_badness) {
-            best_badness = badness;
-            best_combo = i;
-            if (badness == 0) break;
-          }
-        }
-        const std::vector<int64_t>& combo = combos.combo_codes(best_combo);
-        for (size_t i = 0; i < b_cols_v.size(); ++i) {
-          v_join.SetCode(row, b_cols_v[i], combo[i]);
-        }
-        repair_groups[best_combo].push_back(row);
-      }
-      // Pass 2: one conflict oracle per touched combo, over the partition's
-      // colored rows plus the group's repaired rows (their B cells now carry
-      // the combo, so DC side predicates evaluate on them like any other
-      // row). Candidate keys are probed with WouldViolate against the
-      // current same-key bucket — the oracle's hypergraph covers every
-      // arity >= 3 uniformly (the old per-bucket permutation scan silently
-      // skipped arity >= 4) and each probe is O(|bucket|) instead of
-      // O(|bucket|^2 · |DC|) BodyHoldsUnordered permutations. If the oracle
-      // build trips a resource cap (hyperedge enumeration or pair budget on
-      // a row set the coloring phase never saw), repair degrades to the
-      // direct ScanWouldViolate evaluation, which needs no enumeration and
-      // also covers every arity.
+    if (!repair_groups.empty()) {
+      // Pass 2: per touched combo, probe candidate keys for each repaired
+      // row against the current same-key bucket. The conflict source is one
+      // of:
+      //
+      //  * The combo's partition oracle retained from coloring (reuse path):
+      //    no per-combo rebuild. Repair probes involve only the repaired
+      //    (extension) rows — vertices the partition oracle never saw — so
+      //    probes evaluate the DCs directly (ScanWouldViolate, every arity);
+      //    the cached oracle anchors the invalidation protocol: it is only
+      //    trusted while repair's B-cell mutations touched none of its rows.
+      //  * A freshly built oracle over the partition's colored rows plus the
+      //    group's repaired rows (their B cells now carry the combo, so DC
+      //    side predicates evaluate on them like any other row); its
+      //    hypergraph covers every arity >= 3 uniformly and each probe is
+      //    O(|bucket|).
+      //  * Direct ScanWouldViolate evaluation when the rebuild trips a
+      //    resource cap (hyperedge enumeration or pair budget on a row set
+      //    the coloring phase never saw) — needs no enumeration and also
+      //    covers every arity.
+      //
+      // All three sources answer the identical question, so the chosen keys
+      // are bit-identical across them (equivalence-tested).
       ConflictOracleOptions repair_oracle_options = oracle_options;
       if (options.max_hyperedge_candidates > 0) {
         repair_oracle_options.max_hyperedge_candidates =
             options.max_hyperedge_candidates;
       }
       for (const auto& [combo_id, group] : repair_groups) {
-        const std::vector<int64_t>& combo = combos.combo_codes(combo_id);
+        const std::vector<int64_t>& combo = combos->combo_codes(combo_id);
         std::vector<uint32_t> oracle_rows;
+        const PartitionOracle* cached = nullptr;
         auto pit = partition_index.find(combo);
         if (pit != partition_index.end()) {
           oracle_rows = partitions[pit->second].rows;
+          cached = kept_oracles[worklist_idx_of_partition[pit->second]].get();
         }
         size_t num_colored = oracle_rows.size();
         oracle_rows.insert(oracle_rows.end(), group.begin(), group.end());
-        auto oracle_or = BuildPartitionOracle(v_join, bound_dcs, oracle_rows,
-                                              repair_oracle_options);
-        if (!oracle_or.ok() &&
-            oracle_or.status().code() != StatusCode::kResourceExhausted) {
-          return oracle_or.status();
+        bool use_cached = cached != nullptr;
+        if (use_cached) {
+          // Invalidation: repair only mutates B cells of invalid rows, and
+          // partitions never contain invalid rows, so a retained oracle's
+          // row set stays clean by construction; the check is the protocol's
+          // safety net should that invariant ever move.
+          for (uint32_t r : cached->rows()) {
+            if (is_invalid[r]) {
+              use_cached = false;
+              ++stats.repair_oracle_invalidations;
+              break;
+            }
+          }
         }
-        const bool have_oracle = oracle_or.ok();
-        if (have_oracle) ++stats.repair_oracles;
+        std::unique_ptr<PartitionOracle> rebuilt;
+        if (use_cached) {
+          ++stats.repair_oracle_cache_hits;
+        } else {
+          auto oracle_or = BuildPartitionOracle(v_join, bound_dcs,
+                                                oracle_rows,
+                                                repair_oracle_options);
+          if (!oracle_or.ok() &&
+              oracle_or.status().code() != StatusCode::kResourceExhausted) {
+            return oracle_or.status();
+          }
+          if (oracle_or.ok()) {
+            rebuilt = std::move(oracle_or).value();
+            ++stats.repair_oracles;
+            ++stats.repair_oracle_rebuilds;
+          }
+        }
         // Same-key buckets as local vertex ids.
         std::unordered_map<int64_t, std::vector<size_t>> bucket;
         for (size_t v = 0; v < num_colored; ++v) {
@@ -390,12 +458,12 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
           size_t local = num_colored + g;
           uint32_t row = group[g];
           int64_t chosen = kNoColor;
-          for (int64_t key : combos.keys(combo_id)) {
+          for (int64_t key : combos->keys(combo_id)) {
             auto it = bucket.find(key);
             bool ok =
                 it == bucket.end() ||
-                (have_oracle
-                     ? !(*oracle_or.value()).WouldViolate(local, it->second)
+                (rebuilt != nullptr
+                     ? !rebuilt->WouldViolate(local, it->second)
                      : !ScanWouldViolate(v_join, bound_dcs, row, it->second,
                                          oracle_rows));
             if (ok) {

@@ -43,6 +43,14 @@ struct Phase2Options {
   /// coloring-phase oracles keep the library default, where a cap overrun
   /// is a hard error by design).
   size_t max_hyperedge_candidates = 0;
+  /// Partitions whose combo is a repair target hand their coloring-phase
+  /// conflict oracle to solveInvalidTuples instead of the repair pass
+  /// rebuilding a per-combo oracle over the same rows. Repair probes involve
+  /// only the repaired (extension) rows — vertices no partition oracle ever
+  /// saw — so they evaluate the DCs directly either way; results are
+  /// bit-identical with reuse on or off (equivalence-tested). Off forces the
+  /// legacy rebuild path.
+  bool reuse_repair_oracles = true;
 };
 
 struct Phase2Stats {
@@ -54,6 +62,14 @@ struct Phase2Stats {
   size_t new_r2_tuples = 0;
   size_t invalid_rows = 0;
   size_t repair_oracles = 0;       ///< per-combo oracles built for repair
+  /// Repair-oracle reuse accounting: combos served by a retained
+  /// coloring-phase oracle (no rebuild), combos that rebuilt one (reuse off,
+  /// partition never colored, or oracle invalidated), and cached oracles
+  /// rejected because repair's B-cell mutations touched their rows (defensive
+  /// — mutations only hit invalid rows, which no partition contains).
+  size_t repair_oracle_cache_hits = 0;
+  size_t repair_oracle_rebuilds = 0;
+  size_t repair_oracle_invalidations = 0;
 };
 
 struct Phase2Result {

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace cextend {
 
@@ -55,32 +56,32 @@ bool AdjacencyGraph::HasEdge(size_t u, size_t v) const {
 // ---- ImplicitBicliqueFamily. ----
 
 namespace {
-constexpr uint32_t kNoGroup = 0xFFFFFFFFu;
+constexpr uint32_t kNoGroup = ImplicitBicliqueFamily::kNoGroup;
 constexpr int64_t kUncolored = INT64_MIN;
-
-size_t PopcountWords(const std::vector<uint64_t>& bits) {
-  size_t count = 0;
-  for (uint64_t w : bits) count += static_cast<size_t>(__builtin_popcountll(w));
-  return count;
-}
 }  // namespace
 
 ImplicitBicliqueFamily::ImplicitBicliqueFamily(size_t num_vertices)
-    : n_(num_vertices), words_((num_vertices + 63) / 64) {}
+    : n_(num_vertices),
+      words_((num_vertices + 63) / 64),
+      padded_words_(simd::PadWords((num_vertices + 63) / 64)) {}
 
 void ImplicitBicliqueFamily::AddBiclique(const std::vector<uint8_t>& side0,
                                          const std::vector<uint8_t>& side1) {
+  CEXTEND_CHECK(side0.size() == n_ && side1.size() == n_);
+  std::vector<uint64_t> w0(words_, 0), w1(words_, 0);
+  for (size_t i = 0; i < n_; ++i) {
+    if (side0[i]) w0[i >> 6] |= uint64_t{1} << (i & 63);
+    if (side1[i]) w1[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+  AddBicliqueWords(std::move(w0), std::move(w1));
+}
+
+void ImplicitBicliqueFamily::AddBicliqueWords(std::vector<uint64_t> side0,
+                                              std::vector<uint64_t> side1) {
   CEXTEND_CHECK(!finalized_) << "AddBiclique after Finalize";
   CEXTEND_CHECK(bicliques_.size() < kMaxBicliques);
-  CEXTEND_CHECK(side0.size() == n_ && side1.size() == n_);
-  Biclique b;
-  b.side0.assign(words_, 0);
-  b.side1.assign(words_, 0);
-  for (size_t i = 0; i < n_; ++i) {
-    if (side0[i]) b.side0[i >> 6] |= uint64_t{1} << (i & 63);
-    if (side1[i]) b.side1[i >> 6] |= uint64_t{1} << (i & 63);
-  }
-  bicliques_.push_back(std::move(b));
+  CEXTEND_CHECK(side0.size() == words_ && side1.size() == words_);
+  bicliques_.push_back(Biclique{std::move(side0), std::move(side1)});
 }
 
 void ImplicitBicliqueFamily::Finalize() {
@@ -89,36 +90,65 @@ void ImplicitBicliqueFamily::Finalize() {
   signature_.assign(n_, 0);
   group_.assign(n_, kNoGroup);
   if (bicliques_.empty()) return;
+  // Word-driven signature build: only set bits are visited, so sparse sides
+  // cost their popcount, not n, and the inner loop is branch-light.
   for (size_t i = 0; i < bicliques_.size(); ++i) {
     const Biclique& b = bicliques_[i];
-    for (size_t v = 0; v < n_; ++v) {
-      if (TestBit(b.side0, v)) signature_[v] |= uint64_t{1} << (2 * i);
-      if (TestBit(b.side1, v)) signature_[v] |= uint64_t{1} << (2 * i + 1);
+    for (size_t w = 0; w < words_; ++w) {
+      uint64_t bits = b.side0[w];
+      while (bits != 0) {
+        signature_[w * 64 + static_cast<size_t>(__builtin_ctzll(bits))] |=
+            uint64_t{1} << (2 * i);
+        bits &= bits - 1;
+      }
+      bits = b.side1[w];
+      while (bits != 0) {
+        signature_[w * 64 + static_cast<size_t>(__builtin_ctzll(bits))] |=
+            uint64_t{1} << (2 * i + 1);
+        bits &= bits - 1;
+      }
     }
   }
   // One union-neighborhood bitset per distinct signature: a vertex on side 0
   // of biclique i conflicts with all of side 1 and vice versa, so vertices
-  // with equal signatures share their implicit neighborhood verbatim.
+  // with equal signatures share their implicit neighborhood verbatim. Rows
+  // live in one flat pool at a cache-line-padded stride (so line prefetch
+  // works during sweeps and neighboring groups never share a line).
   std::unordered_map<uint64_t, uint32_t> group_of_signature;
+  // Vertices with equal signatures arrive in long runs (typically one
+  // signature per biclique side), so a one-entry cache turns the per-vertex
+  // hash lookup into a register compare on the hot path.
+  uint64_t cached_sig = 0;
+  uint32_t cached_group = kNoGroup;
   for (size_t v = 0; v < n_; ++v) {
     uint64_t sig = signature_[v];
     if (sig == 0) continue;
+    if (sig == cached_sig) {
+      group_[v] = cached_group;
+      continue;
+    }
     auto [it, inserted] = group_of_signature.emplace(
-        sig, static_cast<uint32_t>(group_neighborhood_.size()));
+        sig, static_cast<uint32_t>(group_popcount_.size()));
     if (inserted) {
-      std::vector<uint64_t> hood(words_, 0);
+      group_signature_.push_back(sig);
+      group_neighborhoods_.resize(group_neighborhoods_.size() + padded_words_,
+                                  0);
+      uint64_t* hood =
+          group_neighborhoods_.data() + group_neighborhoods_.size() -
+          padded_words_;
       for (size_t i = 0; i < bicliques_.size(); ++i) {
         if (sig & (uint64_t{1} << (2 * i))) {
-          for (size_t w = 0; w < words_; ++w) hood[w] |= bicliques_[i].side1[w];
+          simd::OrInto(hood, bicliques_[i].side1.data(), words_);
         }
         if (sig & (uint64_t{1} << (2 * i + 1))) {
-          for (size_t w = 0; w < words_; ++w) hood[w] |= bicliques_[i].side0[w];
+          simd::OrInto(hood, bicliques_[i].side0.data(), words_);
         }
       }
-      group_popcount_.push_back(PopcountWords(hood));
-      group_neighborhood_.push_back(std::move(hood));
+      group_popcount_.push_back(simd::Popcount(hood, words_));
     }
     group_[v] = it->second;
+    cached_sig = sig;
+    cached_group = it->second;
   }
 }
 
@@ -127,7 +157,7 @@ bool ImplicitBicliqueFamily::PairConflicts(size_t u, size_t v) const {
   if (u == v || bicliques_.empty()) return false;
   uint32_t g = group_[u];
   if (g == kNoGroup) return false;
-  return TestBit(group_neighborhood_[g], v);
+  return TestBit(GroupNeighborhood(g), v);
 }
 
 int64_t ImplicitBicliqueFamily::Degree(size_t v) const {
@@ -136,7 +166,7 @@ int64_t ImplicitBicliqueFamily::Degree(size_t v) const {
   uint32_t g = group_[v];
   if (g == kNoGroup) return 0;
   return static_cast<int64_t>(group_popcount_[g]) -
-         (TestBit(group_neighborhood_[g], v) ? 1 : 0);
+         (TestBit(GroupNeighborhood(g), v) ? 1 : 0);
 }
 
 void ImplicitBicliqueFamily::AppendForbiddenColors(
@@ -146,7 +176,7 @@ void ImplicitBicliqueFamily::AppendForbiddenColors(
   if (bicliques_.empty()) return;
   uint32_t g = group_[v];
   if (g == kNoGroup) return;
-  const std::vector<uint64_t>& hood = group_neighborhood_[g];
+  const uint64_t* hood = GroupNeighborhood(g);
   for (size_t w = 0; w < words_; ++w) {
     uint64_t bits = hood[w];
     while (bits != 0) {
@@ -164,18 +194,23 @@ size_t ImplicitBicliqueFamily::UnionDegrees(const AdjacencyGraph& csr,
   CEXTEND_DCHECK(finalized_);
   degrees->assign(n_, 0);
   size_t degree_sum = 0;
+  const bool no_csr = csr.num_edges() == 0;
   for (size_t v = 0; v < n_; ++v) {
-    size_t deg = static_cast<size_t>(Degree(v));
     uint32_t g = bicliques_.empty() ? kNoGroup : group_[v];
+    size_t deg;
     if (g == kNoGroup) {
-      deg += static_cast<size_t>(csr.Degree(v));
+      deg = static_cast<size_t>(csr.Degree(v));
     } else {
-      // CSR neighbors already covered by the implicit neighborhood would be
-      // double-counted; membership is an O(1) bit test.
-      const std::vector<uint64_t>& hood = group_neighborhood_[g];
-      for (const uint32_t* p = csr.NeighborsBegin(v), *end = csr.NeighborsEnd(v);
-           p != end; ++p) {
-        if (!TestBit(hood, *p)) ++deg;
+      const uint64_t* hood = GroupNeighborhood(g);
+      deg = group_popcount_[g] - (TestBit(hood, v) ? 1 : 0);
+      if (!no_csr) {
+        // CSR neighbors already covered by the implicit neighborhood would
+        // be double-counted; membership is an O(1) bit test.
+        for (const uint32_t* p = csr.NeighborsBegin(v),
+                           *end = csr.NeighborsEnd(v);
+             p != end; ++p) {
+          if (!TestBit(hood, *p)) ++deg;
+        }
       }
     }
     (*degrees)[v] = static_cast<int64_t>(deg);

@@ -17,6 +17,27 @@
 
 namespace cextend {
 
+class AdjacencyGraph;
+class ImplicitBicliqueFamily;
+class Hypergraph;
+
+/// Optional decomposition of a conflict oracle into its three layers. When
+/// an oracle publishes this (all-null members mean "opaque"), its forbidden
+/// rule is guaranteed to be exactly the union of: colors of colored CSR
+/// neighbors, colors of colored implicit-biclique neighbors, and the
+/// hypergraph all-other-vertices-same-color rule. The greedy coloring uses
+/// the decomposition to run an incremental word-wise fast path instead of
+/// calling AppendForbiddenColors per vertex; results are identical.
+struct ConflictStructure {
+  const AdjacencyGraph* csr = nullptr;
+  const ImplicitBicliqueFamily* implicit = nullptr;
+  const Hypergraph* higher = nullptr;
+
+  bool Decomposed() const {
+    return csr != nullptr || implicit != nullptr || higher != nullptr;
+  }
+};
+
 /// Interface the list-coloring algorithm needs from a conflict structure.
 class ConflictOracle {
  public:
@@ -33,6 +54,10 @@ class ConflictOracle {
   virtual void AppendForbiddenColors(size_t v,
                                      const std::vector<int64_t>& colors,
                                      std::vector<int64_t>* out) const = 0;
+
+  /// Layer decomposition for the coloring fast path; default is opaque
+  /// (all-null), which forces the generic AppendForbiddenColors path.
+  virtual ConflictStructure Structure() const { return {}; }
 };
 
 /// Compressed-sparse-row simple graph over vertices 0..n-1, built once from
@@ -99,6 +124,9 @@ class ImplicitBicliqueFamily {
   /// an explicit representation.
   static constexpr size_t kMaxBicliques = 32;
 
+  /// group_of() value for vertices in no biclique.
+  static constexpr uint32_t kNoGroup = 0xFFFFFFFFu;
+
   ImplicitBicliqueFamily() = default;
   explicit ImplicitBicliqueFamily(size_t num_vertices);
 
@@ -106,6 +134,12 @@ class ImplicitBicliqueFamily {
   /// before Finalize; requires num_bicliques() < kMaxBicliques.
   void AddBiclique(const std::vector<uint8_t>& side0,
                    const std::vector<uint8_t>& side1);
+
+  /// As AddBiclique but from already-packed word bitsets ((n + 63) / 64
+  /// words each) — the builder's hot path packs membership bits directly
+  /// instead of round-tripping through byte masks.
+  void AddBicliqueWords(std::vector<uint64_t> side0,
+                        std::vector<uint64_t> side1);
 
   /// Builds the signature groups and union-neighborhood bitsets. Queries and
   /// UnionDegrees require a finalized family; AddBiclique is rejected after.
@@ -135,13 +169,60 @@ class ImplicitBicliqueFamily {
   /// (valid after Finalize). Normally O(K · n/64); adversarially overlapping
   /// bicliques can push the group count toward n, so callers should charge
   /// this against their edge-memory budget and fall back when it blows up.
+  /// Group rows count at their padded (cache-line) stride — what is actually
+  /// allocated.
   size_t StorageWords() const {
-    return (2 * bicliques_.size() + group_neighborhood_.size()) * words_;
+    return 2 * bicliques_.size() * words_ + num_groups() * padded_words_;
+  }
+
+  // ---- Flat layout accessors (valid after Finalize), consumed by the
+  // coloring fast path's incremental group-color index. ----
+
+  size_t num_groups() const { return group_popcount_.size(); }
+  size_t words() const { return words_; }
+
+  /// Dense group id of `v`, or kNoGroup when v is in no biclique. Vertices
+  /// with equal membership signatures share a group (and a neighborhood).
+  uint32_t group_of(size_t v) const {
+    return bicliques_.empty() ? kNoGroup : group_[v];
+  }
+
+  /// Group g's union-neighborhood bitset: words() valid words, starting at
+  /// a cache-line-aligned offset in one contiguous pool (rows are padded to
+  /// simd::kCacheLineWords so bulk sweeps never split lines across groups).
+  const uint64_t* GroupNeighborhood(uint32_t g) const {
+    return group_neighborhoods_.data() + static_cast<size_t>(g) * padded_words_;
+  }
+
+  /// Membership signature of `v` (0 = in no biclique) and the shared
+  /// signature of group `g`.
+  uint64_t signature_of(size_t v) const {
+    return bicliques_.empty() ? 0 : signature_[v];
+  }
+  uint64_t group_signature(uint32_t g) const { return group_signature_[g]; }
+
+  /// True iff a vertex with signature `vertex_sig` lies in the neighborhood
+  /// of a group with signature `group_sig`: some biclique has the group on
+  /// one side and the vertex on the other. Pure register math — the coloring
+  /// fast path uses it to update its per-group color counts without reading
+  /// any neighborhood bitset.
+  static bool SignatureAdjacent(uint64_t group_sig, uint64_t vertex_sig) {
+    constexpr uint64_t kSide0 = 0x5555555555555555ull;  // bits 2i
+    constexpr uint64_t kSide1 = 0xAAAAAAAAAAAAAAAAull;  // bits 2i+1
+    return ((group_sig & (vertex_sig >> 1) & kSide0) |
+            (group_sig & (vertex_sig << 1) & kSide1)) != 0;
+  }
+
+  /// Bit test on a packed bitset (e.g. a hoisted GroupNeighborhood row):
+  /// callers probing one vertex against many members fetch the row once and
+  /// test per member, instead of re-resolving the group per pair.
+  static bool TestBit(const uint64_t* bits, size_t i) {
+    return (bits[i >> 6] >> (i & 63)) & 1;
   }
 
  private:
   static bool TestBit(const std::vector<uint64_t>& bits, size_t i) {
-    return (bits[i >> 6] >> (i & 63)) & 1;
+    return TestBit(bits.data(), i);
   }
 
   struct Biclique {
@@ -151,16 +232,19 @@ class ImplicitBicliqueFamily {
 
   size_t n_ = 0;
   size_t words_ = 0;
+  size_t padded_words_ = 0;  // words_ rounded up to a cache-line multiple
   bool finalized_ = false;
   std::vector<Biclique> bicliques_;
   /// Per-vertex membership signature: bit 2i = in side 0 of biclique i,
   /// bit 2i+1 = in side 1. Signature 0 means "in no biclique".
   std::vector<uint64_t> signature_;
-  /// Per-vertex dense group id (UINT32_MAX for signature 0), one
-  /// union-neighborhood bitset (with cached popcount) per group.
+  /// Per-vertex dense group id (kNoGroup for signature 0); one
+  /// union-neighborhood bitset (with cached popcount) per group, flattened
+  /// into a single pool at padded_words_ stride.
   std::vector<uint32_t> group_;
-  std::vector<std::vector<uint64_t>> group_neighborhood_;
+  std::vector<uint64_t> group_neighborhoods_;
   std::vector<size_t> group_popcount_;
+  std::vector<uint64_t> group_signature_;  // per-group shared signature
 };
 
 /// Explicitly stored hypergraph (vertices 0..n-1; edges of arity >= 2).

@@ -7,14 +7,27 @@
 // colors, which corresponds to inserting new tuples into R2).
 //
 // Forbidden colors are tracked with an epoch-stamped mark vector keyed by
-// candidate index (no per-vertex set rebuild), so one step costs
-// O(|forbidden(v)| + scan-to-first-free colors); with the indexed conflict
-// oracle a whole pass is O(sum of degrees + n * first-free scans) instead of
-// the previous O(n^2 * |DC|). Oracles may report the same forbidden color
-// several times (e.g. a neighbor reachable through both an implicit
-// biclique and the CSR layer) — the epoch marks absorb duplicates, and the
-// degree order only relies on the oracle's union simple-graph degrees, so
-// colorings are identical across conflict representations.
+// candidate index (no per-vertex set rebuild). Two paths produce identical
+// colorings:
+//
+//  * Generic (reference): one AppendForbiddenColors call per vertex —
+//    O(sum of degrees) color pushes plus candidate lookups.
+//  * Structure fast path: when the oracle publishes its layer decomposition
+//    (ConflictStructure), the implicit-biclique layer is served by an
+//    incremental group-color index — count[group][candidate] of colored
+//    vertices inside each group's neighborhood, updated in O(#groups)
+//    signature tests per assignment (no bitset reads) and queried in
+//    O(#candidates) per vertex. A dense implicit partition (owner-owner
+//    cliques) thus costs O(n · (G + C)) instead of O(n² ) color pushes. The
+//    CSR layer streams each vertex's materialized neighbor run; the
+//    hypergraph layer keeps its all-others-same-color rule.
+//
+// Candidate values map to dense mark slots through a sorted flat array
+// (binary search) instead of a hash table; duplicate candidate values share
+// the slot of their first occurrence. Oracles may report the same forbidden
+// color several times — the epoch marks absorb duplicates, and the degree
+// order only relies on the oracle's union simple-graph degrees, so colorings
+// are identical across conflict representations, paths, and thread counts.
 
 #ifndef CEXTEND_GRAPH_LIST_COLORING_H_
 #define CEXTEND_GRAPH_LIST_COLORING_H_
@@ -37,13 +50,22 @@ struct ListColoringResult {
   std::vector<int> skipped;
 };
 
+struct ColoringOptions {
+  /// Serve forbidden-color queries from the oracle's layer decomposition
+  /// (ConflictStructure) when it publishes one. Off forces the generic
+  /// AppendForbiddenColors reference path; results are bit-identical either
+  /// way (equivalence-tested), so this is a perf/test knob, not semantics.
+  bool use_structure = true;
+};
+
 /// Runs ColoringLF(G, c, L). `initial` may be empty (all uncolored) or one
 /// entry per vertex. `candidates` is the ordered list L; "smallest available
 /// color" = first non-forbidden entry. Already-colored vertices are skipped,
 /// matching the resumable use in Algorithm 4.
 ListColoringResult GreedyListColoring(const ConflictOracle& oracle,
                                       std::vector<int64_t> initial,
-                                      const std::vector<int64_t>& candidates);
+                                      const std::vector<int64_t>& candidates,
+                                      const ColoringOptions& options = {});
 
 }  // namespace cextend
 

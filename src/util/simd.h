@@ -1,0 +1,61 @@
+// Word-wise kernels for the bitset hot paths (implicit-biclique
+// neighborhoods, forbidden-color sweeps): bulk OR, popcount, and
+// AND-popcount over contiguous uint64_t words.
+//
+// Each kernel has a plain scalar loop — the property-tested reference, and
+// the only path on machines without AVX2 — plus an AVX2 variant compiled
+// with a per-function target attribute (the translation unit itself is
+// built without -mavx2, so the binary stays portable). Dispatch happens
+// once at load time via __builtin_cpu_supports; callers never branch.
+//
+// Buffers are expected to be cache-line padded when iterated in bulk:
+// kCacheLineWords (8 words = 64 bytes) is the stride quantum used by
+// ImplicitBicliqueFamily for its per-group neighborhood pool, which keeps
+// every group's bitset line-aligned relative to the pool start and lets the
+// AVX2 loops run without a scalar tail on padded lengths.
+
+#ifndef CEXTEND_UTIL_SIMD_H_
+#define CEXTEND_UTIL_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cextend {
+namespace simd {
+
+/// 64-byte cache line in 64-bit words; pad bitset strides to a multiple.
+inline constexpr size_t kCacheLineWords = 8;
+
+inline constexpr size_t PadWords(size_t words) {
+  return (words + kCacheLineWords - 1) / kCacheLineWords * kCacheLineWords;
+}
+
+/// True when the AVX2 variants are compiled in *and* the CPU supports them.
+bool HasAvx2();
+
+/// dst[i] |= src[i] for i in [0, words).
+void OrInto(uint64_t* dst, const uint64_t* src, size_t words);
+
+/// Total set bits in words[0..words).
+size_t Popcount(const uint64_t* words, size_t num_words);
+
+/// Total set bits in a[i] & b[i] (intersection size of two bitsets).
+size_t AndPopcount(const uint64_t* a, const uint64_t* b, size_t num_words);
+
+namespace internal {
+// Scalar reference implementations, exposed for the equivalence tests.
+void OrIntoScalar(uint64_t* dst, const uint64_t* src, size_t words);
+size_t PopcountScalar(const uint64_t* words, size_t num_words);
+size_t AndPopcountScalar(const uint64_t* a, const uint64_t* b,
+                         size_t num_words);
+#if defined(__x86_64__) || defined(_M_X64)
+void OrIntoAvx2(uint64_t* dst, const uint64_t* src, size_t words);
+size_t AndPopcountAvx2(const uint64_t* a, const uint64_t* b,
+                       size_t num_words);
+#endif
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace cextend
+
+#endif  // CEXTEND_UTIL_SIMD_H_

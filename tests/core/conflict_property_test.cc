@@ -282,8 +282,95 @@ TEST_P(ConflictPropertyTest, ParallelBuildIsByteIdenticalToSerial) {
   }
 }
 
+TEST_P(ConflictPropertyTest, StructureFastPathMatchesGenericReference) {
+  // The coloring's structure fast path (incremental group index + CSR
+  // streaming + slot cache) must be byte-identical to the generic
+  // AppendForbiddenColors reference path — from scratch and when resuming a
+  // partial coloring, where the fast path has to seed its index from
+  // `initial`.
+  Rng rng(GetParam() * 613 + 11);
+  size_t n = 40 + static_cast<size_t>(rng.UniformInt(0, 60));
+  Table t = RandomTable(rng, n);
+  auto bound = BindAll(RandomDcs(rng), t);
+  ASSERT_TRUE(bound.ok());
+  std::vector<uint32_t> rows;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.9)) rows.push_back(i);
+  }
+  auto oracle = PartitionConflictOracle::Build(t, bound.value(), rows);
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+
+  std::vector<int64_t> candidates;
+  int64_t num_candidates = rng.UniformInt(2, 10);
+  for (int64_t c = 0; c < num_candidates; ++c) candidates.push_back(c * 3);
+  ColoringOptions scalar;
+  scalar.use_structure = false;
+
+  ListColoringResult fast = GreedyListColoring(*oracle, {}, candidates);
+  ListColoringResult ref = GreedyListColoring(*oracle, {}, candidates, scalar);
+  EXPECT_EQ(fast.colors, ref.colors);
+  EXPECT_EQ(fast.skipped, ref.skipped);
+
+  // Resume: pre-color a random subset (including colors outside the
+  // candidate list, which neither path may ever mark).
+  std::vector<int64_t> initial(rows.size(), kNoColor);
+  for (size_t v = 0; v < rows.size(); ++v) {
+    if (rng.Bernoulli(0.4)) {
+      initial[v] = rng.Bernoulli(0.8) ? candidates[static_cast<size_t>(
+                                            rng.UniformInt(0, num_candidates - 1))]
+                                      : int64_t{1000};
+    }
+  }
+  fast = GreedyListColoring(*oracle, initial, candidates);
+  ref = GreedyListColoring(*oracle, initial, candidates, scalar);
+  EXPECT_EQ(fast.colors, ref.colors);
+  EXPECT_EQ(fast.skipped, ref.skipped);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ConflictPropertyTest,
                          ::testing::Range<uint64_t>(1, 13));
+
+TEST(FlatPoolBudgetTest, EntryPoolChargeTriggersNaiveFallback) {
+  // The flattened indexed build materializes one contiguous Entry pool (3
+  // words per side-1 vertex) before emitting any pair. That pool must be
+  // charged against max_materialized_pairs: this DC's ordering atom never
+  // holds (Age0 < Age1 - 1000 with ages in [0, 90]), so it emits ZERO pairs —
+  // a budget below the pool size but above the pair count only trips if the
+  // pool itself is charged, and the factory must then hand back the naive
+  // fallback with identical semantics.
+  constexpr size_t n = 200;
+  Rng rng(2024);
+  Table t = RandomTable(rng, n);
+  DenialConstraint dc(2, "never-holds");
+  dc.Binary(0, "Age", CompareOp::kLt, 1, "Age", -1000);
+  auto bound = BindAll({dc}, t);
+  ASSERT_TRUE(bound.ok());
+  std::vector<uint32_t> rows(n);
+  for (uint32_t i = 0; i < n; ++i) rows[i] = i;
+
+  auto full = BuildPartitionOracle(t, bound.value(), rows);
+  ASSERT_TRUE(full.ok()) << full.status();
+  auto* indexed = dynamic_cast<PartitionConflictOracle*>(full->get());
+  ASSERT_NE(indexed, nullptr);
+  EXPECT_EQ(indexed->num_materialized_pairs(), 0u);
+
+  ConflictOracleOptions tiny;
+  tiny.max_materialized_pairs = n;  // < 3n pool words, > 0 emitted pairs
+  auto fallback = BuildPartitionOracle(t, bound.value(), rows, tiny);
+  ASSERT_TRUE(fallback.ok()) << fallback.status();
+  EXPECT_EQ(dynamic_cast<PartitionConflictOracle*>(fallback->get()), nullptr)
+      << "tiny budget must reject the flat pool and fall back to naive";
+
+  // Fallback semantics stay identical to the full indexed build.
+  for (size_t u = 0; u < n; ++u) {
+    EXPECT_EQ((*fallback)->Degree(u), (*full)->Degree(u));
+  }
+  std::vector<int64_t> candidates = {0, 7, 14};
+  ListColoringResult a = GreedyListColoring(**full, {}, candidates);
+  ListColoringResult b = GreedyListColoring(**fallback, {}, candidates);
+  EXPECT_EQ(a.colors, b.colors);
+  EXPECT_EQ(a.skipped, b.skipped);
+}
 
 TEST(ImplicitCliqueTest, CliquePartitionBuildsWithoutMaterializedPairs) {
   // Acceptance: a clique-style partition (single no-cross-atom DC, n = 4096)

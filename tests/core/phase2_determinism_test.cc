@@ -101,12 +101,14 @@ Instance MakeInstance() {
 }
 
 Phase2Result RunAt(const Instance& instance, size_t threads,
-                   bool random_assignment = false) {
+                   bool random_assignment = false,
+                   bool reuse_repair_oracles = true) {
   Table v_join = instance.v_join.Clone();  // RunPhase2 mutates invalid rows
   Phase2Options options;
   options.num_threads = threads;
   options.seed = 9;
   options.random_assignment = random_assignment;
+  options.reuse_repair_oracles = reuse_repair_oracles;
   auto result =
       RunPhase2(v_join, instance.persons, instance.housing, instance.names,
                 instance.dcs, {}, instance.invalid, options);
@@ -149,6 +151,32 @@ TEST(Phase2DeterminismTest, RepeatedRunsAreStable) {
     Phase2Result again = RunAt(instance, 8);
     ExpectTablesEqual(first.r1_hat, again.r1_hat, "r1_hat");
     ExpectTablesEqual(first.r2_hat, again.r2_hat, "r2_hat");
+  }
+}
+
+TEST(Phase2DeterminismTest, RepairOracleReuseMatchesRebuildAtAnyThreadCount) {
+  // solveInvalidTuples with retained coloring-phase oracles must choose the
+  // exact keys the legacy per-combo rebuild chooses — at every thread count.
+  Instance instance = MakeInstance();
+  Phase2Result rebuild = RunAt(instance, 1, /*random_assignment=*/false,
+                               /*reuse_repair_oracles=*/false);
+  // The legacy path must actually rebuild (else the comparison is vacuous)
+  // and never count cache activity.
+  EXPECT_GT(rebuild.stats.repair_oracle_rebuilds, 0u);
+  EXPECT_EQ(rebuild.stats.repair_oracle_cache_hits, 0u);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    Phase2Result reuse = RunAt(instance, threads, /*random_assignment=*/false,
+                               /*reuse_repair_oracles=*/true);
+    ExpectTablesEqual(rebuild.r1_hat, reuse.r1_hat, "r1_hat");
+    ExpectTablesEqual(rebuild.r2_hat, reuse.r2_hat, "r2_hat");
+    // Reuse must actually serve combos from retained oracles, and the
+    // defensive invalidation scan must never fire: repair mutates only
+    // invalid rows, which no partition contains.
+    EXPECT_GT(reuse.stats.repair_oracle_cache_hits, 0u);
+    EXPECT_EQ(reuse.stats.repair_oracle_invalidations, 0u);
+    EXPECT_LT(reuse.stats.repair_oracle_rebuilds,
+              rebuild.stats.repair_oracle_rebuilds +
+                  rebuild.stats.repair_oracle_cache_hits);
   }
 }
 

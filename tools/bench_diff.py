@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Machine-checked perf regression gate for the bench trajectories.
+
+Diffs a *fresh* bench run against a *committed baseline* and fails (exit 1)
+when any kernel regressed beyond a threshold, so every PR's perf claim is
+load-bearing instead of prose. Three JSON-lines record kinds are understood,
+matching what the bench binaries append:
+
+  * micro-kernel records (bench_micro_kernels):
+      {"kernel": "PartitionColoring", "n": 4096, "seconds": 0.0123}
+    keyed by (kernel, n), compared on ``seconds``;
+  * phase-1 ILP records (bench_ilp_kernels):
+      {"kernel": "ilp_solve", "bins": ..., "combos": ..., "ccs": ...,
+       "threads": ..., "sparse_seconds": ...}
+    keyed by (kernel, bins, combos, ccs, threads), compared on
+    ``sparse_seconds`` (the optimized path — the dense reference column is
+    informational);
+  * phase-2 harness records (bench/harness.cc):
+      {"method": "hybrid", "scale": 1.0, "phase2_seconds": ...}
+    keyed by (method, scale), compared on ``phase2_seconds``.
+
+Trajectory files are append-only, so the *latest* record per key wins on
+both sides. Keys present on only one side are reported but never fail the
+gate (new benchmarks are allowed to appear; retired ones to disappear).
+Entries faster than --min-seconds on both sides are skipped — sub-millisecond
+timings are noise-dominated and would make the gate flaky.
+
+Usage:
+  tools/bench_diff.py --baseline BENCH_phase2.json --fresh fresh_phase2.json \
+                      [--baseline BENCH_phase1.json --fresh fresh_phase1.json]
+                      [--threshold 1.25] [--min-seconds 0.001]
+  tools/bench_diff.py --self-test
+
+--baseline/--fresh are paired positionally (first baseline diffs against
+first fresh, and so on). --self-test exercises the gate on synthetic
+baseline/regressed/improved trajectories and exits nonzero if the gate logic
+itself is broken; it is wired into ctest as ``bench_diff_selftest``.
+
+Regenerating baselines (Release build, quiet machine):
+  see bench/README.md — the committed BENCH_phase1.json / BENCH_phase2.json
+  must come from the same machine class you intend to gate on, and CI passes
+  an explicit wider --threshold to absorb runner variance.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+
+def classify(record):
+    """Returns (key, seconds) for a record, or None if unrecognized."""
+    if "method" in record:
+        return (("phase2", record.get("method"), record.get("scale")),
+                record.get("phase2_seconds"))
+    if "kernel" in record and "sparse_seconds" in record:
+        return (("phase1", record.get("kernel"), record.get("bins"),
+                 record.get("combos"), record.get("ccs"),
+                 record.get("threads")),
+                record.get("sparse_seconds"))
+    if "kernel" in record and "seconds" in record:
+        return (("micro", record.get("kernel"), record.get("n")),
+                record.get("seconds"))
+    return None
+
+
+def load_latest(path):
+    """Latest (key -> seconds) per record key in a JSON-lines trajectory."""
+    latest = {}
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for line_no, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as e:
+                    print(f"warning: {path}:{line_no}: bad record ({e})",
+                          file=sys.stderr)
+                    continue
+                kv = classify(record)
+                if kv is None or kv[1] is None:
+                    continue
+                latest[kv[0]] = float(kv[1])
+    except OSError as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    return latest
+
+
+def key_str(key):
+    kind = key[0]
+    if kind == "micro":
+        return f"{key[1]}/{key[2]}"
+    if kind == "phase1":
+        return f"{key[1]}@{key[2]}bins/t{key[5]}"
+    return f"{key[1]}@{key[2]}x"
+
+
+def diff(baseline, fresh, threshold, min_seconds):
+    """Compares two (key -> seconds) maps. Returns the list of regressions."""
+    regressions = []
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        print("warning: no shared keys between baseline and fresh run",
+              file=sys.stderr)
+    header = f"{'kernel':<40} {'baseline':>12} {'fresh':>12} {'ratio':>8}"
+    print(header)
+    print("-" * len(header))
+    for key in shared:
+        base_s, fresh_s = baseline[key], fresh[key]
+        if base_s < min_seconds and fresh_s < min_seconds:
+            print(f"{key_str(key):<40} {base_s:>12.6f} {fresh_s:>12.6f} "
+                  f"{'skip':>8}")
+            continue
+        ratio = fresh_s / base_s if base_s > 0 else float("inf")
+        flag = "  REGRESSED" if ratio > threshold else ""
+        print(f"{key_str(key):<40} {base_s:>12.6f} {fresh_s:>12.6f} "
+              f"{ratio:>7.2f}x{flag}")
+        if ratio > threshold:
+            regressions.append((key, base_s, fresh_s, ratio))
+    for key in sorted(set(baseline) - set(fresh)):
+        print(f"{key_str(key):<40} {baseline[key]:>12.6f} {'absent':>12} "
+              f"{'-':>8}")
+    for key in sorted(set(fresh) - set(baseline)):
+        print(f"{key_str(key):<40} {'absent':>12} {fresh[key]:>12.6f} "
+              f"{'-':>8}  (new)")
+    return regressions
+
+
+def run_gate(pairs, threshold, min_seconds):
+    all_regressions = []
+    for baseline_path, fresh_path in pairs:
+        print(f"== {baseline_path} vs {fresh_path} "
+              f"(threshold {threshold:.2f}x) ==")
+        regressions = diff(load_latest(baseline_path),
+                           load_latest(fresh_path), threshold, min_seconds)
+        all_regressions.extend(regressions)
+        print()
+    if all_regressions:
+        print(f"FAIL: {len(all_regressions)} kernel(s) regressed beyond "
+              f"{threshold:.2f}x:")
+        for key, base_s, fresh_s, ratio in all_regressions:
+            print(f"  {key_str(key)}: {base_s:.6f}s -> {fresh_s:.6f}s "
+                  f"({ratio:.2f}x)")
+        return 1
+    print("OK: no kernel regressed beyond the threshold")
+    return 0
+
+
+def self_test():
+    """Gate logic check on synthetic trajectories; exit 0 iff correct."""
+    baseline_records = [
+        {"kernel": "ConflictBuildImplicitClique", "n": 65536,
+         "seconds": 0.100},
+        {"kernel": "PartitionColoring", "n": 4096, "seconds": 0.050},
+        # Stale earlier record: the later one must win.
+        {"kernel": "InvalidRepairOracleProbe", "n": 4096, "seconds": 9.0},
+        {"kernel": "InvalidRepairOracleProbe", "n": 4096, "seconds": 0.010},
+        {"kernel": "ilp_solve", "bins": 200, "combos": 16, "ccs": 50,
+         "threads": 1, "dense_seconds": 1.0, "sparse_seconds": 0.200},
+        {"method": "hybrid", "scale": 1.0, "phase2_seconds": 0.300},
+        # Noise-floor entry: must be skipped, not gated.
+        {"kernel": "TinyKernel", "n": 8, "seconds": 0.0000004},
+    ]
+    regressed_records = [
+        {"kernel": "ConflictBuildImplicitClique", "n": 65536,
+         "seconds": 0.098},  # fine
+        {"kernel": "PartitionColoring", "n": 4096, "seconds": 0.090},  # 1.8x
+        {"kernel": "InvalidRepairOracleProbe", "n": 4096, "seconds": 0.011},
+        {"kernel": "ilp_solve", "bins": 200, "combos": 16, "ccs": 50,
+         "threads": 1, "dense_seconds": 1.0, "sparse_seconds": 0.210},
+        {"method": "hybrid", "scale": 1.0, "phase2_seconds": 0.310},
+        {"kernel": "TinyKernel", "n": 8, "seconds": 0.0000009},  # noise, 2.2x
+    ]
+    improved_records = [
+        {"kernel": "ConflictBuildImplicitClique", "n": 65536,
+         "seconds": 0.040},
+        {"kernel": "PartitionColoring", "n": 4096, "seconds": 0.020},
+        {"kernel": "InvalidRepairOracleProbe", "n": 4096, "seconds": 0.002},
+        {"kernel": "ilp_solve", "bins": 200, "combos": 16, "ccs": 50,
+         "threads": 1, "dense_seconds": 1.0, "sparse_seconds": 0.190},
+        {"method": "hybrid", "scale": 1.0, "phase2_seconds": 0.250},
+        {"kernel": "BrandNewKernel", "n": 128, "seconds": 0.5},  # new: ok
+    ]
+
+    def write(records):
+        f = tempfile.NamedTemporaryFile("w", suffix=".json", delete=False)
+        for r in records:
+            f.write(json.dumps(r) + "\n")
+        f.close()
+        return f.name
+
+    base = write(baseline_records)
+    bad = write(regressed_records)
+    good = write(improved_records)
+    try:
+        print("--- self-test: regressed run must FAIL the gate ---")
+        if run_gate([(base, bad)], threshold=1.25, min_seconds=0.001) != 1:
+            print("self-test FAILED: synthetic regression passed the gate")
+            return 1
+        print("\n--- self-test: improved run must PASS the gate ---")
+        if run_gate([(base, good)], threshold=1.25, min_seconds=0.001) != 0:
+            print("self-test FAILED: improved run tripped the gate")
+            return 1
+        print("\n--- self-test: identical run must PASS the gate ---")
+        if run_gate([(base, base)], threshold=1.25, min_seconds=0.001) != 0:
+            print("self-test FAILED: identical trajectories tripped the gate")
+            return 1
+    finally:
+        for path in (base, bad, good):
+            os.unlink(path)
+    print("\nself-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", action="append", default=[],
+                        help="committed baseline trajectory (repeatable)")
+    parser.add_argument("--fresh", action="append", default=[],
+                        help="fresh run trajectory, paired with --baseline "
+                             "by position (repeatable)")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="fail when fresh/baseline exceeds this "
+                             "(default 1.25)")
+    parser.add_argument("--min-seconds", type=float, default=0.001,
+                        help="skip entries below this on both sides "
+                             "(noise floor, default 1ms)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the synthetic gate self-check and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.baseline or len(args.baseline) != len(args.fresh):
+        parser.error("--baseline and --fresh must be given in equal numbers")
+    sys.exit(run_gate(list(zip(args.baseline, args.fresh)),
+                      args.threshold, args.min_seconds))
+
+
+if __name__ == "__main__":
+    main()

@@ -15,8 +15,12 @@ a readable report:
   * otherwise (or with --ascii): an ASCII table plus a sparkline of the
     trajectory, so the tool works on a bare CI box.
 
-Record type is auto-detected per file (phase-1 records carry ``kernel``),
-so any mix of trajectory files can be passed:
+Record type is auto-detected *per record*, so one trajectory file may mix
+kinds: phase-1 solver records carry ``kernel`` + ``sparse_seconds``,
+micro-kernel records (appended by bench_micro_kernels, and diffed by
+tools/bench_diff.py in the CI perf gate) carry ``kernel`` + ``seconds``,
+and harness phase-2 records carry ``method``. Any mix of trajectory files
+can be passed:
 
   tools/plot_bench.py [BENCH_phase2.json [BENCH_phase1.json ...]]
                       [--png out.png] [--ascii]
@@ -189,8 +193,40 @@ def phase1_png_report(records, out_path):
     print(f"wrote {out_path}")
 
 
-def is_phase1(records):
-    return any("kernel" in r for r in records)
+def micro_ascii_report(records):
+    print(f"{len(records)} micro-kernel records\n")
+    header = f"{'kernel':<36} {'n':>8} {'seconds':>12}"
+    print(header)
+    print("-" * len(header))
+    # Latest record per (kernel, n): the current state of each cell.
+    latest = {}
+    for r in records:
+        latest[(r.get("kernel", "?"), r.get("n", 0))] = r
+    for (kernel, n), r in sorted(latest.items()):
+        print(f"{kernel:<36} {n:>8} {r.get('seconds', 0.0):>12.6f}")
+    print("\nper-kernel trajectory at the largest n (append order):")
+    by_kernel = {}
+    for r in records:
+        by_kernel.setdefault(r.get("kernel", "?"), []).append(r)
+    for kernel, recs in sorted(by_kernel.items()):
+        largest = max(r.get("n", 0) for r in recs)
+        values = [r.get("seconds", 0.0) for r in recs
+                  if r.get("n", 0) == largest]
+        print(f"  {kernel:<36} n={largest:<7} {sparkline(values)}  "
+              f"[{min(values):.6f} .. {max(values):.6f}]")
+
+
+def split_kinds(records):
+    """Routes each record to its report: micro / phase1 / phase2."""
+    kinds = {"micro": [], "phase1": [], "phase2": []}
+    for r in records:
+        if "kernel" in r and "sparse_seconds" in r:
+            kinds["phase1"].append(r)
+        elif "kernel" in r and "seconds" in r:
+            kinds["micro"].append(r)
+        else:
+            kinds["phase2"].append(r)
+    return kinds
 
 
 def main():
@@ -206,35 +242,43 @@ def main():
     args = parser.parse_args()
 
     for i, path in enumerate(args.trajectories):
-        records = load_records(path)
-        phase1 = is_phase1(records)
+        kinds = split_kinds(load_records(path))
         if i > 0:
             print()
         print(f"== {path} ==")
-        if not args.ascii:
-            try:
-                out = args.png or ("BENCH_phase1.png" if phase1
-                                   else "BENCH_phase2.png")
-                if args.png and len(args.trajectories) > 1:
-                    # One figure per file: suffix the requested name so a
-                    # multi-file invocation does not overwrite itself.
-                    stem, dot, ext = args.png.rpartition(".")
-                    out = (f"{stem}.{i}.{ext}" if dot
-                           else f"{args.png}.{i}")
-                if phase1:
-                    phase1_png_report(records, out)
-                else:
-                    png_report(records, out)
+        # Micro-kernel records always render as ASCII (they are the CI gate's
+        # input; bench_diff.py is the machine-facing consumer).
+        if kinds["micro"]:
+            micro_ascii_report(kinds["micro"])
+        for kind in ("phase1", "phase2"):
+            records = kinds[kind]
+            if not records:
                 continue
-            except ImportError:
-                if args.png:
-                    sys.exit("error: --png requires matplotlib")
-                print("matplotlib not available; falling back to ASCII "
-                      "report\n", file=sys.stderr)
-        if phase1:
-            phase1_ascii_report(records)
-        else:
-            ascii_report(records)
+            phase1 = kind == "phase1"
+            if not args.ascii:
+                try:
+                    out = args.png or ("BENCH_phase1.png" if phase1
+                                       else "BENCH_phase2.png")
+                    if args.png and len(args.trajectories) > 1:
+                        # One figure per file: suffix the requested name so a
+                        # multi-file invocation does not overwrite itself.
+                        stem, dot, ext = args.png.rpartition(".")
+                        out = (f"{stem}.{i}.{ext}" if dot
+                               else f"{args.png}.{i}")
+                    if phase1:
+                        phase1_png_report(records, out)
+                    else:
+                        png_report(records, out)
+                    continue
+                except ImportError:
+                    if args.png:
+                        sys.exit("error: --png requires matplotlib")
+                    print("matplotlib not available; falling back to ASCII "
+                          "report\n", file=sys.stderr)
+            if phase1:
+                phase1_ascii_report(records)
+            else:
+                ascii_report(records)
 
 
 if __name__ == "__main__":
