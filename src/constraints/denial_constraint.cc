@@ -26,9 +26,11 @@ std::string DcAtom::ToString() const {
   return lhs + " " + CompareOpToString(op) + " " + rhs_value.ToString();
 }
 
+// Setters accept any tuple index; range validation happens at Bind time so
+// malformed user-supplied constraints surface as InvalidArgument instead of
+// aborting the process.
 DenialConstraint& DenialConstraint::Unary(int tuple, std::string column,
                                           CompareOp op, Value value) {
-  CEXTEND_CHECK(tuple >= 0 && tuple < arity_);
   DcAtom a;
   a.is_binary = false;
   a.lhs_tuple = tuple;
@@ -41,7 +43,6 @@ DenialConstraint& DenialConstraint::Unary(int tuple, std::string column,
 
 DenialConstraint& DenialConstraint::UnaryIn(int tuple, std::string column,
                                             std::vector<Value> values) {
-  CEXTEND_CHECK(tuple >= 0 && tuple < arity_);
   DcAtom a;
   a.is_binary = false;
   a.lhs_tuple = tuple;
@@ -56,8 +57,6 @@ DenialConstraint& DenialConstraint::Binary(int lhs, std::string lhs_col,
                                            CompareOp op, int rhs,
                                            std::string rhs_col,
                                            int64_t offset) {
-  CEXTEND_CHECK(lhs >= 0 && lhs < arity_);
-  CEXTEND_CHECK(rhs >= 0 && rhs < arity_);
   DcAtom a;
   a.is_binary = true;
   a.lhs_tuple = lhs;
@@ -87,6 +86,13 @@ StatusOr<BoundDenialConstraint> BoundDenialConstraint::Bind(
   bound.arity_ = dc.arity();
   const Schema& schema = table.schema();
   for (const DcAtom& atom : dc.atoms()) {
+    if (atom.lhs_tuple < 0 || atom.lhs_tuple >= dc.arity() ||
+        (atom.is_binary &&
+         (atom.rhs_tuple < 0 || atom.rhs_tuple >= dc.arity()))) {
+      return Status::InvalidArgument(
+          "DC atom references a tuple variable outside t0..t" +
+          std::to_string(dc.arity() - 1) + ": " + atom.ToString());
+    }
     auto lhs_col = schema.IndexOf(atom.lhs_column);
     if (!lhs_col.has_value()) {
       return Status::InvalidArgument("DC references unknown column " +

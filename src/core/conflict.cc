@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "util/fault_injection.h"
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -50,11 +51,13 @@ void EnumerateHyperedges(const Table& table,
 /// when no such DC produces an edge.
 StatusOr<std::shared_ptr<const Hypergraph>> BuildHigherArity(
     const Table& table, const std::vector<BoundDenialConstraint>& dcs,
-    const std::vector<uint32_t>& rows, size_t max_hyperedge_candidates) {
+    const std::vector<uint32_t>& rows, size_t max_hyperedge_candidates,
+    const RunControl& run_control = {}) {
   size_t n = rows.size();
   std::set<std::vector<int>> edges;
   for (const BoundDenialConstraint& dc : dcs) {
     if (dc.arity() == 2) continue;
+    CEXTEND_RETURN_IF_ERROR(run_control.Check());
     std::vector<std::vector<size_t>> candidates(
         static_cast<size_t>(dc.arity()));
     size_t product = 1;
@@ -311,10 +314,12 @@ Status EmitBinaryDcPairs(const Table& table, const BoundDenialConstraint& dc,
                          const BinaryDcPlan& plan,
                          const std::vector<uint32_t>& rows,
                          size_t max_materialized_pairs,
+                         const RunControl& run_control,
                          std::atomic<size_t>* global_emitted,
                          std::vector<uint64_t>* pairs) {
   size_t n = rows.size();
   if (n < 2) return Status::Ok();
+  CEXTEND_RETURN_IF_ERROR(run_control.Check());
 
   std::vector<uint8_t> in0, in1;
   BuildSideMask(table, dc, plan, rows, 0, &in0);
@@ -333,9 +338,11 @@ Status EmitBinaryDcPairs(const Table& table, const BoundDenialConstraint& dc,
   };
   size_t charged = 0;
   // Charges `count` more emitted pairs; true when the build-wide total
-  // crosses the budget.
+  // crosses the budget. The injected fault simulates a budget overrun at
+  // the first charge, driving the indexed→naive fallback.
   auto charge = [&](size_t count) {
     charged += count;
+    if (CEXTEND_INJECT_FAULT("oracle.pair_budget")) return true;
     size_t prior = global_emitted->fetch_add(count);
     return prior + count > max_materialized_pairs;
   };
@@ -385,6 +392,7 @@ Status EmitBinaryDcPairs(const Table& table, const BoundDenialConstraint& dc,
     uint32_t vert;
   };
   {
+    if (CEXTEND_INJECT_FAULT("pool.alloc")) return over_budget();
     size_t pool_words = 3 * side1.size();
     size_t prior = global_emitted->fetch_add(pool_words);
     if (prior + pool_words > max_materialized_pairs) return over_budget();
@@ -474,9 +482,9 @@ Status EmitBinaryDcPairs(const Table& table, const BoundDenialConstraint& dc,
       }
       if (ok) pairs->push_back(PackPair(u, v));
     }
-    if (pairs->size() - charged >= kBudgetChargeChunk &&
-        charge(pairs->size() - charged)) {
-      return over_budget();
+    if (pairs->size() - charged >= kBudgetChargeChunk) {
+      CEXTEND_RETURN_IF_ERROR(run_control.Check());
+      if (charge(pairs->size() - charged)) return over_budget();
     }
   }
   if (pairs->size() > charged && charge(pairs->size() - charged)) {
@@ -524,7 +532,8 @@ StatusOr<PartitionConflictOracle> PartitionConflictOracle::Build(
     std::vector<uint32_t> rows, const ConflictOracleOptions& options) {
   CEXTEND_ASSIGN_OR_RETURN(
       std::shared_ptr<const Hypergraph> higher,
-      BuildHigherArity(table, dcs, rows, options.max_hyperedge_candidates));
+      BuildHigherArity(table, dcs, rows, options.max_hyperedge_candidates,
+                       options.run_control));
   return BuildWithHypergraph(table, dcs, std::move(rows), options,
                              std::move(higher));
 }
@@ -547,18 +556,22 @@ StatusOr<PartitionConflictOracle> PartitionConflictOracle::BuildWithHypergraph(
   for (const BoundDenialConstraint& dc : dcs) {
     if (dc.arity() != 2) continue;
     BinaryDcPlan plan = PlanBinaryDc(dc);
-    if (IsProductDc(plan) && n >= 2 &&
-        oracle.implicit_.num_bicliques() <
-            ImplicitBicliqueFamily::kMaxBicliques) {
-      // No cross atoms: the conflict set is the side0 x side1 product. Keep
-      // it implicit — O(n) bits instead of Θ(|side0|·|side1|) pairs, and it
-      // never touches the materialized-pair budget.
-      BuildSideMask(table, dc, plan, oracle.rows_, 0, &in0);
-      BuildSideMask(table, dc, plan, oracle.rows_, 1, &in1);
-      bool any0 = std::find(in0.begin(), in0.end(), uint8_t{1}) != in0.end();
-      bool any1 = std::find(in1.begin(), in1.end(), uint8_t{1}) != in1.end();
-      if (any0 && any1) oracle.implicit_.AddBiclique(in0, in1);
-      continue;
+    if (IsProductDc(plan) && n >= 2) {
+      if (oracle.implicit_.num_bicliques() <
+          ImplicitBicliqueFamily::kMaxBicliques) {
+        // No cross atoms: the conflict set is the side0 x side1 product.
+        // Keep it implicit — O(n) bits instead of Θ(|side0|·|side1|) pairs,
+        // and it never touches the materialized-pair budget.
+        BuildSideMask(table, dc, plan, oracle.rows_, 0, &in0);
+        BuildSideMask(table, dc, plan, oracle.rows_, 1, &in1);
+        bool any0 = std::find(in0.begin(), in0.end(), uint8_t{1}) != in0.end();
+        bool any1 = std::find(in1.begin(), in1.end(), uint8_t{1}) != in1.end();
+        if (any0 && any1) oracle.implicit_.AddBiclique(in0, in1);
+        continue;
+      }
+      // Implicit→materialized rung: the family is full, so this product DC
+      // joins the indexed path and pays the pair budget like any other DC.
+      ++oracle.biclique_overflows_;
     }
     indexed_dcs.push_back(&dc);
     indexed_plans.push_back(std::move(plan));
@@ -577,13 +590,25 @@ StatusOr<PartitionConflictOracle> PartitionConflictOracle::BuildWithHypergraph(
   std::vector<Status> run_status(indexed_dcs.size(), Status::Ok());
   std::atomic<size_t> total_emitted{0};
   ParallelFor(options.pool, indexed_dcs.size(), [&](size_t i) {
+    // Chunk-start check: a tripped deadline/cancel skips the emission work
+    // and surfaces after the (deterministic) status sweep below.
+    run_status[i] = options.run_control.Check();
+    if (!run_status[i].ok()) return;
     run_status[i] =
         EmitBinaryDcPairs(table, *indexed_dcs[i], indexed_plans[i],
                           oracle.rows_, options.max_materialized_pairs,
-                          &total_emitted, &runs[i]);
+                          options.run_control, &total_emitted, &runs[i]);
     std::sort(runs[i].begin(), runs[i].end());
     runs[i].erase(std::unique(runs[i].begin(), runs[i].end()), runs[i].end());
   });
+  // Interrupts outrank budget errors: a budget overrun would trigger the
+  // naive fallback, which must not mask an expired deadline / cancel.
+  for (const Status& st : run_status) {
+    if (st.code() == StatusCode::kDeadlineExceeded ||
+        st.code() == StatusCode::kCancelled) {
+      return st;
+    }
+  }
   for (size_t i = 0; i < indexed_dcs.size(); ++i) {
     CEXTEND_RETURN_IF_ERROR(run_status[i]);
   }
@@ -689,7 +714,8 @@ StatusOr<NaiveConflictOracle> NaiveConflictOracle::Build(
     std::vector<uint32_t> rows, const ConflictOracleOptions& options) {
   CEXTEND_ASSIGN_OR_RETURN(
       std::shared_ptr<const Hypergraph> higher,
-      BuildHigherArity(table, dcs, rows, options.max_hyperedge_candidates));
+      BuildHigherArity(table, dcs, rows, options.max_hyperedge_candidates,
+                       options.run_control));
   return BuildWithHypergraph(table, dcs, std::move(rows), options,
                              std::move(higher));
 }
@@ -779,19 +805,26 @@ bool NaiveConflictOracle::WouldViolate(
 
 StatusOr<std::unique_ptr<PartitionOracle>> BuildPartitionOracle(
     const Table& table, const std::vector<BoundDenialConstraint>& dcs,
-    std::vector<uint32_t> rows, const ConflictOracleOptions& options) {
+    std::vector<uint32_t> rows, const ConflictOracleOptions& options,
+    BuildOracleInfo* info) {
   // Hyperedges are enumerated once up front and shared: a cap failure here
   // is terminal (the naive oracle would hit the identical cap), and a
   // later kResourceExhausted from the indexed build can only mean the pair
   // budget, which the naive fallback does not need.
   CEXTEND_ASSIGN_OR_RETURN(
       std::shared_ptr<const Hypergraph> higher,
-      BuildHigherArity(table, dcs, rows, options.max_hyperedge_candidates));
-  if (!options.force_naive) {
+      BuildHigherArity(table, dcs, rows, options.max_hyperedge_candidates,
+                       options.run_control));
+  // The injected fault abandons the indexed build outright, exercising the
+  // same indexed→naive rung a real pair-budget overrun takes.
+  if (!options.force_naive && !CEXTEND_INJECT_FAULT("oracle.build")) {
     StatusOr<PartitionConflictOracle> indexed =
         PartitionConflictOracle::BuildWithHypergraph(table, dcs, rows,
                                                      options, higher);
     if (indexed.ok()) {
+      if (info != nullptr) {
+        info->biclique_overflows = indexed.value().num_biclique_overflows();
+      }
       std::unique_ptr<PartitionOracle> oracle =
           std::make_unique<PartitionConflictOracle>(
               std::move(indexed).value());
@@ -802,6 +835,7 @@ StatusOr<std::unique_ptr<PartitionOracle>> BuildPartitionOracle(
     }
     // Pair budget exceeded: fall back to the O(n) memory brute-force oracle.
   }
+  if (info != nullptr && !options.force_naive) info->naive_fallback = true;
   CEXTEND_ASSIGN_OR_RETURN(
       NaiveConflictOracle naive,
       NaiveConflictOracle::BuildWithHypergraph(table, dcs, std::move(rows),

@@ -37,6 +37,7 @@
 #include "constraints/denial_constraint.h"
 #include "graph/hypergraph.h"
 #include "relational/table.h"
+#include "util/deadline.h"
 #include "util/statusor.h"
 
 namespace cextend {
@@ -63,6 +64,20 @@ struct ConflictOracleOptions {
   /// graph. The adjacency produced is byte-identical to the serial build, so
   /// coloring results never depend on the thread count. Null = serial.
   ThreadPool* pool = nullptr;
+  /// Deadline/cancellation, checked per DC during hyperedge enumeration and
+  /// at every pair-budget charge chunk during pair emission.
+  RunControl run_control;
+};
+
+/// Degradation accounting for one BuildPartitionOracle call, reported
+/// through the optional out-param so phase II can aggregate ladder stats.
+struct BuildOracleInfo {
+  /// The indexed build was abandoned (pair budget / injected fault) and the
+  /// O(n)-memory naive oracle was built instead (indexed→naive rung).
+  bool naive_fallback = false;
+  /// Product DCs that overflowed ImplicitBicliqueFamily::kMaxBicliques and
+  /// were materialized as pairs instead (implicit→materialized rung).
+  size_t biclique_overflows = 0;
 };
 
 /// ConflictOracle plus the pairwise and set queries phase II needs.
@@ -133,6 +148,8 @@ class PartitionConflictOracle final : public PartitionOracle {
   size_t num_implicit_bicliques() const { return implicit_.num_bicliques(); }
   /// Deduplicated pairs actually materialized in the CSR layer.
   size_t num_materialized_pairs() const { return adjacency_.num_edges(); }
+  /// Product DCs materialized because the implicit family was full.
+  size_t num_biclique_overflows() const { return biclique_overflows_; }
 
  private:
   PartitionConflictOracle() = default;
@@ -144,6 +161,7 @@ class PartitionConflictOracle final : public PartitionOracle {
   std::shared_ptr<const Hypergraph> higher_;
   std::vector<int64_t> degrees_;  // (implicit ∪ CSR) + hypergraph degrees
   size_t num_edges_ = 0;          // binary + hyper, cached
+  size_t biclique_overflows_ = 0; // product DCs forced onto the pair path
 };
 
 /// Reference brute-force oracle: per-vertex side masks, pairs tested on the
@@ -195,9 +213,12 @@ class NaiveConflictOracle final : public PartitionOracle {
 
 /// Builds the indexed oracle, falling back to the naive oracle when the
 /// materialized-pair budget is exceeded (or when `options.force_naive`).
+/// `info`, when non-null, receives degradation accounting for the build
+/// (`force_naive` is a configured rung, not a fallback, and is not counted).
 StatusOr<std::unique_ptr<PartitionOracle>> BuildPartitionOracle(
     const Table& table, const std::vector<BoundDenialConstraint>& dcs,
-    std::vector<uint32_t> rows, const ConflictOracleOptions& options = {});
+    std::vector<uint32_t> rows, const ConflictOracleOptions& options = {},
+    BuildOracleInfo* info = nullptr);
 
 }  // namespace cextend
 

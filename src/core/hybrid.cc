@@ -16,6 +16,7 @@ StatusOr<HybridResult> RunHybridPhase1(
   HybridResult result;
   HybridStats& stats = result.stats;
   Rng rng(options.seed);
+  CEXTEND_RETURN_IF_ERROR(options.run_control.Check());
 
   // R1-side conditions are classified against the join view's schema (it
   // carries all A columns); R2-side against R2.
@@ -113,6 +114,8 @@ StatusOr<HybridResult> RunHybridPhase1(
                              FillState::Create(&v_join, names, &binning));
   }
 
+  CEXTEND_RETURN_IF_ERROR(options.run_control.Check());
+
   // --- Algorithm 2 over S1. ---
   if (!s1_local.empty()) {
     std::vector<CardinalityConstraint> s1_ccs;
@@ -135,15 +138,23 @@ StatusOr<HybridResult> RunHybridPhase1(
                                            s1_diagram, &stats.hasse));
   }
 
+  CEXTEND_RETURN_IF_ERROR(options.run_control.Check());
+
   // --- Algorithm 1 over S2. ---
   if (!s2_local.empty()) {
     std::vector<CardinalityConstraint> s2_ccs;
     for (int a : s2_local)
       s2_ccs.push_back(active_ccs[static_cast<size_t>(a)]);
+    Phase1IlpOptions ilp_options = options.ilp;
+    if (!ilp_options.run_control.CanInterrupt()) {
+      ilp_options.run_control = options.run_control;
+    }
     ScopedTimer timer(&stats.ilp_seconds);
     CEXTEND_RETURN_IF_ERROR(
-        RunPhase1Ilp(state, combos, s2_ccs, options.ilp, &stats.ilp));
+        RunPhase1Ilp(state, combos, s2_ccs, ilp_options, &stats.ilp));
   }
+
+  CEXTEND_RETURN_IF_ERROR(options.run_control.Check());
 
   // --- Final fill (Algorithm 2 lines 14-17, shared). ---
   {

@@ -15,6 +15,7 @@
 #include "core/phase1_hasse.h"
 #include "core/phase1_ilp.h"
 #include "relational/table.h"
+#include "util/deadline.h"
 #include "util/statusor.h"
 
 namespace cextend {
@@ -27,6 +28,9 @@ struct HybridOptions {
   bool force_ilp = false;
   /// Leftover completion behaviour (the baseline uses kRandom).
   LeftoverMode leftover_mode = LeftoverMode::kAvoidCcs;
+  /// Deadline/cancellation, checked between phase-1 stages and forwarded
+  /// into the ILP (unless `ilp.run_control` carries its own).
+  RunControl run_control;
 };
 
 struct HybridStats {

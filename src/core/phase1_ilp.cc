@@ -277,8 +277,19 @@ Status RunPhase1Ilp(FillState& state, const ComboIndex& combos,
     ScopedTimer timer(&stats->solve_seconds);
     const bool marginals = options.include_marginals;
     auto solve_component = [&](size_t idx) {
+      // Deadline/cancel check at task start: remaining components are
+      // skipped (their results stay kNoSolution) and the trip is reported
+      // after the deterministic merge.
+      Status rc = options.run_control.Check();
+      if (!rc.ok()) {
+        results[idx].interrupt = std::move(rc);
+        return;
+      }
       const BuiltModel& built = models[idx];
       ilp::IlpOptions ilp_options = options.ilp;
+      if (!ilp_options.run_control.CanInterrupt()) {
+        ilp_options.run_control = options.run_control;
+      }
       ilp_options.objective_target = 0.0;  // zero slack == all CCs satisfied
       ilp_options.rounding_heuristic =
           [&built, &state, marginals](const std::vector<double>& lp) {
@@ -298,10 +309,13 @@ Status RunPhase1Ilp(FillState& state, const ComboIndex& combos,
   size_t num_optimal = 0, num_solved = 0;
   ilp::IlpStatus first_failure = ilp::IlpStatus::kNoSolution;
   bool have_failure = false;
+  Status interrupt;
   for (const ilp::IlpResult& r : results) {
     stats->lp_iterations += r.lp_iterations;
     stats->bnb_nodes += r.nodes;
     stats->warm_solves += r.warm_solves;
+    stats->cold_fallbacks += r.cold_fallbacks;
+    if (interrupt.ok() && !r.interrupt.ok()) interrupt = r.interrupt;
     if (Solved(r.status)) {
       ++num_solved;
       if (r.status == ilp::IlpStatus::kOptimal) ++num_optimal;
@@ -311,6 +325,10 @@ Status RunPhase1Ilp(FillState& state, const ComboIndex& combos,
       first_failure = r.status;
     }
   }
+  // A deadline/cancel trip is not a "hard instance": surface it instead of
+  // degrading to the leftover fill, so callers never mistake an interrupted
+  // solve for a completed one.
+  if (!interrupt.ok()) return interrupt;
   if (num_solved == 0) {
     // Leave all rows in the pools; the final fill deals with them. This
     // mirrors the paper's tolerance of CC error when the system is hard.

@@ -32,6 +32,7 @@
 #include "core/fill_state.h"
 #include "core/join_view.h"
 #include "ilp/branch_and_bound.h"
+#include "util/deadline.h"
 #include "util/statusor.h"
 
 namespace cextend {
@@ -47,6 +48,9 @@ struct Phase1IlpOptions {
   /// result is bit-identical regardless of this value.
   size_t num_threads = 1;
   ilp::IlpOptions ilp;
+  /// Deadline/cancellation, checked before each component solve and
+  /// forwarded into the ILP (unless `ilp.run_control` carries its own).
+  RunControl run_control;
 };
 
 struct Phase1IlpStats {
@@ -62,6 +66,8 @@ struct Phase1IlpStats {
   int64_t lp_iterations = 0;
   int64_t bnb_nodes = 0;
   int64_t warm_solves = 0;   ///< B&B nodes re-optimized from a parent basis
+  /// Warm starts that fell back to a cold solve (degradation-ladder rung).
+  int64_t cold_fallbacks = 0;
 };
 
 /// Runs Algorithm 1 for `ccs` over the unassigned rows in `state`. Rows

@@ -10,6 +10,7 @@
 
 #include "core/conflict.h"
 #include "graph/list_coloring.h"
+#include "util/fault_injection.h"
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -272,11 +273,20 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
   ConflictOracleOptions oracle_options;
   oracle_options.force_naive = options.use_naive_oracle;
   oracle_options.pool = pool.get();
+  oracle_options.run_control = options.run_control;
 
   Status first_error = Status::Ok();
   std::mutex error_mu;
   std::mutex stats_mu;
   auto color_partition = [&](size_t idx, Rng& local_rng) {
+    if (options.run_control.CanInterrupt()) {
+      Status rc = options.run_control.Check();
+      if (!rc.ok()) {
+        std::unique_lock<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = std::move(rc);
+        return;
+      }
+    }
     Partition& p = *worklist[idx];
     if (options.random_assignment) {
       for (uint32_t row : p.rows) {
@@ -290,8 +300,9 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
       }
       return;
     }
-    auto oracle_or =
-        BuildPartitionOracle(v_join, bound_dcs, p.rows, oracle_options);
+    BuildOracleInfo build_info;
+    auto oracle_or = BuildPartitionOracle(v_join, bound_dcs, p.rows,
+                                          oracle_options, &build_info);
     if (!oracle_or.ok()) {
       std::unique_lock<std::mutex> lock(error_mu);
       if (first_error.ok()) first_error = oracle_or.status();
@@ -320,6 +331,8 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
     {
       std::unique_lock<std::mutex> lock(stats_mu);
       stats.skipped_vertices += skipped_here;
+      if (build_info.naive_fallback) ++stats.naive_oracle_fallbacks;
+      stats.biclique_overflows += build_info.biclique_overflows;
     }
   };
 
@@ -408,6 +421,7 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
             options.max_hyperedge_candidates;
       }
       for (const auto& [combo_id, group] : repair_groups) {
+        CEXTEND_RETURN_IF_ERROR(options.run_control.Check());
         const std::vector<int64_t>& combo = combos->combo_codes(combo_id);
         std::vector<uint32_t> oracle_rows;
         const PartitionOracle* cached = nullptr;
@@ -435,10 +449,15 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
         std::unique_ptr<PartitionOracle> rebuilt;
         if (use_cached) {
           ++stats.repair_oracle_cache_hits;
+        } else if (CEXTEND_INJECT_FAULT("phase2.repair_oracle")) {
+          // Simulated rebuild resource exhaustion: the group degrades to
+          // direct ScanWouldViolate probes (oracle-probe→scan-probe rung).
+          ++stats.scan_probe_repairs;
         } else {
-          auto oracle_or = BuildPartitionOracle(v_join, bound_dcs,
-                                                oracle_rows,
-                                                repair_oracle_options);
+          BuildOracleInfo build_info;
+          auto oracle_or =
+              BuildPartitionOracle(v_join, bound_dcs, oracle_rows,
+                                   repair_oracle_options, &build_info);
           if (!oracle_or.ok() &&
               oracle_or.status().code() != StatusCode::kResourceExhausted) {
             return oracle_or.status();
@@ -447,6 +466,10 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
             rebuilt = std::move(oracle_or).value();
             ++stats.repair_oracles;
             ++stats.repair_oracle_rebuilds;
+            if (build_info.naive_fallback) ++stats.naive_oracle_fallbacks;
+            stats.biclique_overflows += build_info.biclique_overflows;
+          } else {
+            ++stats.scan_probe_repairs;
           }
         }
         // Same-key buckets as local vertex ids.

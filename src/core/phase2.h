@@ -23,6 +23,7 @@
 #include "constraints/denial_constraint.h"
 #include "core/join_view.h"
 #include "relational/table.h"
+#include "util/deadline.h"
 #include "util/statusor.h"
 
 namespace cextend {
@@ -51,6 +52,9 @@ struct Phase2Options {
   /// bit-identical with reuse on or off (equivalence-tested). Off forces the
   /// legacy rebuild path.
   bool reuse_repair_oracles = true;
+  /// Deadline/cancellation, checked at every partition-coloring task start
+  /// and per repair combo group, and forwarded into oracle construction.
+  RunControl run_control;
 };
 
 struct Phase2Stats {
@@ -70,6 +74,15 @@ struct Phase2Stats {
   size_t repair_oracle_cache_hits = 0;
   size_t repair_oracle_rebuilds = 0;
   size_t repair_oracle_invalidations = 0;
+  /// Degradation-ladder accounting (see src/core/README.md "Resilience"):
+  /// partitions whose indexed oracle build fell back to the naive oracle,
+  /// product DCs materialized because the implicit-biclique family was full,
+  /// and repair combo groups probed by direct DC scans because the per-combo
+  /// oracle rebuild exceeded a resource cap. Every rung preserves
+  /// bit-identical output.
+  size_t naive_oracle_fallbacks = 0;
+  size_t biclique_overflows = 0;
+  size_t scan_probe_repairs = 0;
 };
 
 struct Phase2Result {

@@ -11,6 +11,7 @@ StatusOr<Solution> SolveCExtension(const Table& r1, const Table& r2,
                                    const SolverOptions& options) {
   Stopwatch total_watch;
   CEXTEND_RETURN_IF_ERROR(names.Validate(r1, r2));
+  CEXTEND_RETURN_IF_ERROR(options.run_control.Check());
   CEXTEND_ASSIGN_OR_RETURN(Table v_join, MakeJoinView(r1, r2, names));
 
   SolveStats stats;
@@ -19,6 +20,9 @@ StatusOr<Solution> SolveCExtension(const Table& r1, const Table& r2,
   Stopwatch phase1_watch;
   HybridOptions phase1_options = options.phase1;
   if (phase1_options.seed == 1) phase1_options.seed = options.seed;
+  if (!phase1_options.run_control.CanInterrupt()) {
+    phase1_options.run_control = options.run_control;
+  }
   CEXTEND_ASSIGN_OR_RETURN(
       HybridResult phase1,
       RunHybridPhase1(v_join, r2, names, ccs, dcs, phase1_options));
@@ -30,12 +34,28 @@ StatusOr<Solution> SolveCExtension(const Table& r1, const Table& r2,
   Stopwatch phase2_watch;
   Phase2Options phase2_options = options.phase2;
   if (phase2_options.seed == 1) phase2_options.seed = options.seed;
+  if (!phase2_options.run_control.CanInterrupt()) {
+    phase2_options.run_control = options.run_control;
+  }
   CEXTEND_ASSIGN_OR_RETURN(
       Phase2Result phase2,
       RunPhase2(v_join, r1, r2, names, dcs, ccs, phase1.invalid_rows,
                 phase2_options));
   stats.phase2 = phase2.stats;
   stats.phase2_seconds = phase2_watch.ElapsedSeconds();
+
+  // Record the degradation ladder: rungs entered under pressure (from the
+  // sub-phase stats) plus rungs forced through options.
+  stats.ladder.naive_oracle_fallbacks = phase2.stats.naive_oracle_fallbacks;
+  stats.ladder.biclique_overflows = phase2.stats.biclique_overflows;
+  stats.ladder.cold_solve_fallbacks =
+      static_cast<size_t>(stats.phase1.ilp.cold_fallbacks);
+  stats.ladder.scan_probe_repairs = phase2.stats.scan_probe_repairs;
+  stats.ladder.forced_naive_oracle = phase2_options.use_naive_oracle;
+  stats.ladder.forced_dense_tableau =
+      phase1_options.ilp.ilp.simplex.use_dense_tableau;
+  stats.ladder.forced_cold_solves = !phase1_options.ilp.ilp.warm_start;
+  stats.ladder.forced_monolithic_ilp = !phase1_options.ilp.decompose;
   stats.total_seconds = total_watch.ElapsedSeconds();
 
   return Solution{std::move(phase2.r1_hat), std::move(phase2.r2_hat),

@@ -15,6 +15,7 @@
 #include "core/phase2.h"
 #include "core/stats.h"
 #include "relational/table.h"
+#include "util/deadline.h"
 #include "util/statusor.h"
 
 namespace cextend {
@@ -23,6 +24,12 @@ struct SolverOptions {
   HybridOptions phase1;
   Phase2Options phase2;
   uint64_t seed = 1;
+  /// Deadline/cancellation for the whole solve, propagated into both phases
+  /// (phase-specific run_control set on `phase1`/`phase2` takes precedence).
+  /// On expiry/cancel the solve returns kDeadlineExceeded/kCancelled within
+  /// one work chunk — B&B node, simplex poll window, partition task, or
+  /// repair combo group — and never a partially-synthesized database.
+  RunControl run_control;
 };
 
 struct Solution {

@@ -25,7 +25,7 @@ std::string SolveStats::BreakdownTable() const {
 }
 
 std::string SolveStats::Summary() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "total=%s phase1=%s phase2=%s ccs(hasse=%zu ilp=%zu) invalid=%zu "
       "new_r2=%zu skipped=%zu repair_oracle(hit=%zu rebuild=%zu inval=%zu)",
       FormatDuration(total_seconds).c_str(),
@@ -34,6 +34,18 @@ std::string SolveStats::Summary() const {
       phase1.ccs_to_ilp, invalid_tuples, phase2.new_r2_tuples,
       phase2.skipped_vertices, phase2.repair_oracle_cache_hits,
       phase2.repair_oracle_rebuilds, phase2.repair_oracle_invalidations);
+  if (ladder.AnyDegradation()) {
+    out += StrFormat(
+        " ladder(naive=%zu biclique_overflow=%zu cold=%zu scan_probe=%zu"
+        "%s%s%s%s)",
+        ladder.naive_oracle_fallbacks, ladder.biclique_overflows,
+        ladder.cold_solve_fallbacks, ladder.scan_probe_repairs,
+        ladder.forced_naive_oracle ? " forced:naive" : "",
+        ladder.forced_dense_tableau ? " forced:dense" : "",
+        ladder.forced_cold_solves ? " forced:cold" : "",
+        ladder.forced_monolithic_ilp ? " forced:monolithic" : "");
+  }
+  return out;
 }
 
 }  // namespace cextend

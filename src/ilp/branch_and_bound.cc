@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "ilp/revised_simplex.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -98,11 +99,18 @@ IlpResult SolveIlp(const Model& model, const IlpOptions& options) {
   Stopwatch watch;
   size_t n = model.num_variables();
 
+  // Forward the ILP-level run control into the simplex so pivot loops also
+  // honor it (an explicit simplex-level control wins).
+  SimplexOptions simplex_options = options.simplex;
+  if (!simplex_options.run_control.CanInterrupt()) {
+    simplex_options.run_control = options.run_control;
+  }
+
   // One compiled sparse instance serves every node (the CSC matrix never
   // changes; only bounds do). The dense oracle path solves cold per node.
-  const bool sparse = !options.simplex.use_dense_tableau;
+  const bool sparse = !simplex_options.use_dense_tableau;
   std::unique_ptr<RevisedSimplex> revised;
-  if (sparse) revised = std::make_unique<RevisedSimplex>(model, options.simplex);
+  if (sparse) revised = std::make_unique<RevisedSimplex>(model, simplex_options);
 
   std::priority_queue<Node> queue;
   Node root;
@@ -132,6 +140,14 @@ IlpResult SolveIlp(const Model& model, const IlpOptions& options) {
       budget_hit = true;
       break;
     }
+    if (options.run_control.CanInterrupt()) {
+      Status rc = options.run_control.Check();
+      if (!rc.ok()) {
+        result.interrupt = std::move(rc);
+        budget_hit = true;
+        break;
+      }
+    }
     if (have_incumbent && options.objective_target.has_value() &&
         incumbent_obj <= *options.objective_target + 1e-9) {
       break;  // good enough; stop early
@@ -146,12 +162,23 @@ IlpResult SolveIlp(const Model& model, const IlpOptions& options) {
     if (sparse) {
       bool warm_ok = false;
       if (options.warm_start && node.warm != nullptr) {
-        std::optional<LpResult> warm =
-            revised->SolveWarm(*node.warm, node.lower, node.upper);
+        std::optional<LpResult> warm;
+        if (!CEXTEND_INJECT_FAULT("dual.warm_start")) {
+          warm = revised->SolveWarm(*node.warm, node.lower, node.upper);
+        }
         if (warm.has_value()) {
           lp = *std::move(warm);
           warm_ok = true;
           ++result.warm_solves;
+        } else {
+          // Warm→cold rung: the dual simplex gave up (or the fault point
+          // simulated it); re-solve this node from scratch.
+          ++result.cold_fallbacks;
+          if (!revised->interrupt().ok()) {
+            result.interrupt = revised->interrupt();
+            budget_hit = true;
+            break;
+          }
         }
       }
       if (!warm_ok) lp = revised->Solve(node.lower, node.upper);
@@ -159,9 +186,14 @@ IlpResult SolveIlp(const Model& model, const IlpOptions& options) {
         solved_basis = std::make_shared<SimplexBasis>(revised->basis());
       }
     } else {
-      lp = SolveLp(model, options.simplex, node.lower, node.upper);
+      lp = SolveLp(model, simplex_options, node.lower, node.upper);
     }
     result.lp_iterations += lp.iterations;
+    if (!lp.interrupt.ok()) {
+      result.interrupt = lp.interrupt;
+      budget_hit = true;
+      break;
+    }
     if (lp.status == LpStatus::kUnbounded) {
       // An unbounded relaxation at the root means the ILP is unbounded or
       // infeasible; report unbounded and let the caller decide.

@@ -33,6 +33,13 @@ struct IlpResult {
   /// Nodes whose LP was re-optimized from the parent basis (dual simplex)
   /// rather than solved cold.
   int64_t warm_solves = 0;
+  /// Nodes where a warm start was attempted but fell back to a cold solve
+  /// (warm→cold rung of the degradation ladder).
+  int64_t cold_fallbacks = 0;
+  /// Non-OK when the search stopped because the RunControl tripped (deadline
+  /// expired / cancelled); `status` then reflects whatever incumbent was on
+  /// hand, exactly as on a node/time budget stop.
+  Status interrupt;
 };
 
 struct IlpOptions {
@@ -51,6 +58,9 @@ struct IlpOptions {
   /// integer point (or nullopt). Used to seed/improve the incumbent.
   std::function<std::optional<std::vector<double>>(
       const std::vector<double>&)> rounding_heuristic;
+  /// Deadline/cancellation, polled at every node pop and forwarded into the
+  /// simplex (unless `simplex.run_control` already carries its own).
+  RunControl run_control;
 };
 
 /// True when `x` satisfies all of `model`'s constraints, bounds and

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/fault_injection.h"
 #include "util/logging.h"
 
 namespace cextend {
@@ -254,6 +255,13 @@ RevisedSimplex::PricingOutcome RevisedSimplex::PrimalIterate(
   int degenerate_run = 0;
   bool bland = false;
   while (*iterations < options_.max_iterations) {
+    if (CEXTEND_INJECT_FAULT("simplex.iteration_cap")) {
+      return PricingOutcome::kIterationLimit;
+    }
+    if ((*iterations & 0x3F) == 0 && options_.run_control.CanInterrupt()) {
+      interrupt_ = options_.run_control.Check();
+      if (!interrupt_.ok()) return PricingOutcome::kIterationLimit;
+    }
     // y = B^{-T} c_B, then reduced costs d_j = c_j - y . A_j.
     std::fill(work_y_.begin(), work_y_.end(), 0.0);
     for (size_t r = 0; r < m_; ++r)
@@ -365,7 +373,8 @@ RevisedSimplex::PricingOutcome RevisedSimplex::PrimalIterate(
       }
       if (++pivots_since_refactor_ >=
           static_cast<size_t>(options_.refactor_interval)) {
-        if (!Refactorize()) return PricingOutcome::kIterationLimit;
+        if (CEXTEND_INJECT_FAULT("simplex.refactor") || !Refactorize())
+          return PricingOutcome::kIterationLimit;
       }
     }
     ++*iterations;
@@ -378,6 +387,13 @@ RevisedSimplex::PricingOutcome RevisedSimplex::DualIterate(
   const double eps = options_.eps;
   const double feas = 1e-9;
   while (*iterations < options_.max_iterations) {
+    if (CEXTEND_INJECT_FAULT("simplex.iteration_cap")) {
+      return PricingOutcome::kIterationLimit;
+    }
+    if ((*iterations & 0x3F) == 0 && options_.run_control.CanInterrupt()) {
+      interrupt_ = options_.run_control.Check();
+      if (!interrupt_.ok()) return PricingOutcome::kIterationLimit;
+    }
     // Leaving row: the basic variable with the largest bound violation.
     int leave = -1;
     bool below = false;
@@ -466,7 +482,8 @@ RevisedSimplex::PricingOutcome RevisedSimplex::DualIterate(
     AppendEta(leave, work_col_);
     if (++pivots_since_refactor_ >=
         static_cast<size_t>(options_.refactor_interval)) {
-      if (!Refactorize()) return PricingOutcome::kIterationLimit;
+      if (CEXTEND_INJECT_FAULT("simplex.refactor") || !Refactorize())
+        return PricingOutcome::kIterationLimit;
     }
     ++*iterations;
   }
@@ -505,6 +522,7 @@ LpResult RevisedSimplex::Solve(const std::vector<double>& extra_lower,
                                const std::vector<double>& extra_upper) {
   LpResult result;
   saved_basis_.valid = false;
+  interrupt_ = Status::Ok();
   if (!SetupBounds(extra_lower, extra_upper)) {
     result.status = LpStatus::kInfeasible;
     return result;
@@ -574,6 +592,7 @@ LpResult RevisedSimplex::Solve(const std::vector<double>& extra_lower,
     PricingOutcome out = PrimalIterate(phase1_cost, &result.iterations);
     if (out == PricingOutcome::kIterationLimit) {
       result.status = LpStatus::kIterationLimit;
+      result.interrupt = interrupt_;
       return result;
     }
     CEXTEND_CHECK(out != PricingOutcome::kUnbounded)
@@ -598,6 +617,7 @@ LpResult RevisedSimplex::Solve(const std::vector<double>& extra_lower,
   PricingOutcome out = PrimalIterate(objective_, &result.iterations);
   if (out == PricingOutcome::kIterationLimit) {
     result.status = LpStatus::kIterationLimit;
+    result.interrupt = interrupt_;
     return result;
   }
   if (out == PricingOutcome::kUnbounded) {
@@ -614,6 +634,7 @@ std::optional<LpResult> RevisedSimplex::SolveWarm(
     const SimplexBasis& basis, const std::vector<double>& extra_lower,
     const std::vector<double>& extra_upper) {
   saved_basis_.valid = false;
+  interrupt_ = Status::Ok();
   if (!basis.valid || basis.basic.size() != m_ ||
       basis.status.size() != n_total_) {
     return std::nullopt;
@@ -635,7 +656,8 @@ std::optional<LpResult> RevisedSimplex::SolveWarm(
       return std::nullopt;
   }
   etas_.clear();
-  if (!Refactorize()) return std::nullopt;
+  if (CEXTEND_INJECT_FAULT("simplex.refactor") || !Refactorize())
+    return std::nullopt;
 
   // The parent basis is dual feasible for the model objective (bound changes
   // do not touch reduced costs), so the dual simplex restores primal

@@ -66,6 +66,11 @@ class RevisedSimplex {
   /// the last solve did not end kOptimal).
   const SimplexBasis& basis() const { return saved_basis_; }
 
+  /// Non-OK when the most recent Solve/SolveWarm stopped because the
+  /// RunControl tripped (SolveWarm reports the trip here even when it
+  /// returns nullopt).
+  const Status& interrupt() const { return interrupt_; }
+
  private:
   struct Eta {
     int pivot_row;
@@ -138,6 +143,7 @@ class RevisedSimplex {
   // reinversion leaves one eta per structural basic column, which could
   // exceed refactor_interval and thrash.
   size_t pivots_since_refactor_ = 0;
+  Status interrupt_;  // set when run_control trips mid-iteration
   std::vector<uint8_t> is_artificial_;  // per column
   SimplexBasis saved_basis_;
 

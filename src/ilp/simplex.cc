@@ -83,10 +83,14 @@ enum class IterateOutcome { kOptimal, kUnbounded, kIterationLimit };
 /// row. Dantzig pricing, switching to Bland's rule after a run of degenerate
 /// pivots to guarantee termination.
 IterateOutcome Iterate(Tableau& t, const SimplexOptions& opt,
-                       int64_t& iterations) {
+                       int64_t& iterations, Status* interrupt) {
   int degenerate_run = 0;
   bool bland = false;
   while (iterations < opt.max_iterations) {
+    if ((iterations & 0x3F) == 0 && opt.run_control.CanInterrupt()) {
+      *interrupt = opt.run_control.Check();
+      if (!interrupt->ok()) return IterateOutcome::kIterationLimit;
+    }
     // Entering column.
     int enter = -1;
     double best = -opt.eps;
@@ -249,7 +253,8 @@ LpResult SolveLpDenseTableau(const Model& model, const SimplexOptions& options,
     std::vector<double> c1(n_total, 0.0);
     for (size_t j = art_base; j < next_art; ++j) c1[j] = 1.0;
     t.SetObjective(c1);
-    IterateOutcome out = Iterate(t, options, result.iterations);
+    IterateOutcome out =
+        Iterate(t, options, result.iterations, &result.interrupt);
     if (out == IterateOutcome::kIterationLimit) {
       result.status = LpStatus::kIterationLimit;
       return result;
@@ -288,7 +293,8 @@ LpResult SolveLpDenseTableau(const Model& model, const SimplexOptions& options,
     obj_const += model.variable(i).objective * lower[i];
   }
   t.SetObjective(c2);
-  IterateOutcome out = Iterate(t, options, result.iterations);
+  IterateOutcome out =
+      Iterate(t, options, result.iterations, &result.interrupt);
   if (out == IterateOutcome::kIterationLimit) {
     result.status = LpStatus::kIterationLimit;
     return result;

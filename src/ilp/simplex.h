@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ilp/model.h"
+#include "util/deadline.h"
 
 namespace cextend {
 namespace ilp {
@@ -33,6 +34,10 @@ struct LpResult {
   double objective = 0.0;
   std::vector<double> values;      ///< primal values, one per model variable
   int64_t iterations = 0;
+  /// Non-OK when the solve stopped because the RunControl tripped (deadline
+  /// expired / cancelled). `status` is kIterationLimit in that case; callers
+  /// that care about the distinction check this first.
+  Status interrupt;
 };
 
 struct SimplexOptions {
@@ -45,6 +50,10 @@ struct SimplexOptions {
   /// Route SolveLp through the dense two-phase tableau instead of the sparse
   /// revised simplex. Debug/reference oracle; O(m·n) per pivot.
   bool use_dense_tableau = false;
+  /// Deadline/cancellation, polled every few hundred pivots and at every
+  /// basis reinversion. A trip surfaces as kIterationLimit with
+  /// LpResult::interrupt set.
+  RunControl run_control;
 };
 
 /// Solves the LP relaxation of `model` (integrality ignored). Additional

@@ -11,6 +11,19 @@ Schema::Schema(std::vector<ColumnSpec> columns) : columns_(std::move(columns)) {
   }
 }
 
+StatusOr<Schema> Schema::Create(std::vector<ColumnSpec> columns) {
+  Schema schema;
+  schema.columns_ = std::move(columns);
+  for (size_t i = 0; i < schema.columns_.size(); ++i) {
+    auto [it, inserted] = schema.index_.emplace(schema.columns_[i].name, i);
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate column name " +
+                                     schema.columns_[i].name);
+    }
+  }
+  return schema;
+}
+
 std::optional<size_t> Schema::IndexOf(const std::string& name) const {
   auto it = index_.find(name);
   if (it == index_.end()) return std::nullopt;

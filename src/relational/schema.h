@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "relational/value.h"
+#include "util/statusor.h"
 
 namespace cextend {
 
@@ -27,9 +28,15 @@ struct ColumnSpec {
 class Schema {
  public:
   Schema() = default;
+  /// Aborts on duplicate column names; for programmatic schemas known to be
+  /// well-formed. User-supplied column lists go through Create().
   explicit Schema(std::vector<ColumnSpec> columns);
   Schema(std::initializer_list<ColumnSpec> columns)
       : Schema(std::vector<ColumnSpec>(columns)) {}
+
+  /// Validating factory: kInvalidArgument on duplicate column names instead
+  /// of aborting (the entry point for user input, e.g. CLI schema specs).
+  static StatusOr<Schema> Create(std::vector<ColumnSpec> columns);
 
   size_t NumColumns() const { return columns_.size(); }
   const ColumnSpec& column(size_t i) const { return columns_[i]; }

@@ -1,0 +1,15 @@
+#include "util/deadline.h"
+
+namespace cextend {
+
+Status RunControl::Check() const {
+  if (cancel != nullptr && cancel->IsCancelled()) {
+    return Status::Cancelled("solve cancelled by caller");
+  }
+  if (deadline.IsExpired()) {
+    return Status::DeadlineExceeded("solve deadline expired");
+  }
+  return Status::Ok();
+}
+
+}  // namespace cextend

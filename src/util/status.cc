@@ -24,6 +24,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kInfeasible:
       return "INFEASIBLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }

@@ -24,6 +24,8 @@ enum class StatusCode {
   kInternal = 7,
   kResourceExhausted = 8,
   kInfeasible = 9,  ///< domain-specific: constraint system has no solution
+  kDeadlineExceeded = 10,  ///< a cooperative deadline expired mid-solve
+  kCancelled = 11,         ///< an external CancelToken was triggered
 };
 
 /// Returns a human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -65,6 +67,12 @@ class Status {
   }
   static Status Infeasible(std::string msg) {
     return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

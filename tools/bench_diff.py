@@ -28,8 +28,12 @@ timings are noise-dominated and would make the gate flaky.
 Usage:
   tools/bench_diff.py --baseline BENCH_phase2.json --fresh fresh_phase2.json \
                       [--baseline BENCH_phase1.json --fresh fresh_phase1.json]
-                      [--threshold 1.25] [--min-seconds 0.001]
+                      [--threshold 1.25] [--min-seconds 0.001] [--skip-missing]
   tools/bench_diff.py --self-test
+
+--skip-missing turns a missing baseline or fresh file into a warned-and-
+skipped pair instead of a hard error, so partial CI legs (e.g. a job that
+only produced the phase-2 trajectory) can reuse one gate invocation.
 
 --baseline/--fresh are paired positionally (first baseline diffs against
 first fresh, and so on). --self-test exercises the gate on synthetic
@@ -129,9 +133,16 @@ def diff(baseline, fresh, threshold, min_seconds):
     return regressions
 
 
-def run_gate(pairs, threshold, min_seconds):
+def run_gate(pairs, threshold, min_seconds, skip_missing=False):
     all_regressions = []
     for baseline_path, fresh_path in pairs:
+        if skip_missing:
+            missing = [p for p in (baseline_path, fresh_path)
+                       if not os.path.exists(p)]
+            if missing:
+                print(f"warning: skipping {baseline_path} vs {fresh_path} "
+                      f"(missing: {', '.join(missing)})", file=sys.stderr)
+                continue
         print(f"== {baseline_path} vs {fresh_path} "
               f"(threshold {threshold:.2f}x) ==")
         regressions = diff(load_latest(baseline_path),
@@ -208,6 +219,18 @@ def self_test():
         if run_gate([(base, base)], threshold=1.25, min_seconds=0.001) != 0:
             print("self-test FAILED: identical trajectories tripped the gate")
             return 1
+        print("\n--- self-test: --skip-missing must skip absent pairs ---")
+        gone = os.path.join(tempfile.gettempdir(), "bench_diff_no_such.json")
+        if run_gate([(base, gone), (base, bad)], threshold=1.25,
+                    min_seconds=0.001, skip_missing=True) != 1:
+            print("self-test FAILED: --skip-missing swallowed a real "
+                  "regression in the remaining pair")
+            return 1
+        if run_gate([(gone, gone)], threshold=1.25, min_seconds=0.001,
+                    skip_missing=True) != 0:
+            print("self-test FAILED: all-pairs-missing should pass "
+                  "under --skip-missing")
+            return 1
     finally:
         for path in (base, bad, good):
             os.unlink(path)
@@ -228,6 +251,9 @@ def main():
     parser.add_argument("--min-seconds", type=float, default=0.001,
                         help="skip entries below this on both sides "
                              "(noise floor, default 1ms)")
+    parser.add_argument("--skip-missing", action="store_true",
+                        help="warn and skip pairs whose baseline or fresh "
+                             "file does not exist instead of failing")
     parser.add_argument("--self-test", action="store_true",
                         help="run the synthetic gate self-check and exit")
     args = parser.parse_args()
@@ -237,7 +263,7 @@ def main():
     if not args.baseline or len(args.baseline) != len(args.fresh):
         parser.error("--baseline and --fresh must be given in equal numbers")
     sys.exit(run_gate(list(zip(args.baseline, args.fresh)),
-                      args.threshold, args.min_seconds))
+                      args.threshold, args.min_seconds, args.skip_missing))
 
 
 if __name__ == "__main__":

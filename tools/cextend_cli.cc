@@ -7,12 +7,20 @@
 //               --constraints=spec.txt
 //               [--out-r1=r1_hat.csv] [--out-r2=r2_hat.csv]
 //               [--out-join=v_join.csv] [--seed=N] [--threads=N]
+//               [--timeout-ms=N] [--max-attempts=N]
 //               [--method=hybrid|baseline|baseline-marginals]
+//
+// --timeout-ms bounds each solve attempt with a monotonic deadline (expiry
+// returns DEADLINE_EXCEEDED). On resource-style failures the CLI retries
+// down a degradation ladder (naive oracle, cold solves, dense tableau,
+// monolithic ILP — cumulative), up to --max-attempts attempts; every rung
+// yields the same database for a fixed seed.
 //
 // The spec file holds one constraint per line (see constraints/parser.h):
 //     cc chicago_owners: COUNT(Rel = "Owner" & Area = "Chicago") = 4
 //     dc one_owner:      !(t0.Rel = "Owner" & t1.Rel = "Owner")
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -40,7 +48,44 @@ struct CliArgs {
   std::string method = "hybrid";
   uint64_t seed = 1;
   size_t threads = 1;
+  int64_t timeout_ms = 0;  // 0 = no deadline
+  size_t max_attempts = 5; // 1 = no degradation retries
 };
+
+// Retry ladder: attempt k forces rungs 1..k cumulatively. Every rung is a
+// slower-but-equivalent path (bit-identical output for a fixed seed), so a
+// retry changes resource behaviour, never the synthesized database.
+constexpr const char* kRungLabels[] = {
+    "default configuration",
+    "naive conflict oracle",
+    "cold LP solves (no warm start)",
+    "dense simplex tableau",
+    "monolithic phase-1 ILP",
+};
+constexpr size_t kNumRungs = sizeof(kRungLabels) / sizeof(kRungLabels[0]);
+
+SolverOptions OptionsForAttempt(const CliArgs& args, size_t rung) {
+  SolverOptions options;
+  options.seed = args.seed;
+  options.phase2.num_threads = args.threads;
+  if (rung >= 1) options.phase2.use_naive_oracle = true;
+  if (rung >= 2) options.phase1.ilp.ilp.warm_start = false;
+  if (rung >= 3) options.phase1.ilp.ilp.simplex.use_dense_tableau = true;
+  if (rung >= 4) options.phase1.ilp.decompose = false;
+  if (args.timeout_ms > 0) {
+    // Fresh per-attempt deadline: a degraded retry gets the full budget.
+    options.run_control.deadline = Deadline::AfterMillis(args.timeout_ms);
+  }
+  return options;
+}
+
+// A retry down the ladder only helps with resource-style failures. Bad
+// input (kInvalidArgument, kNotFound) and an expired deadline (degraded
+// rungs are slower, not faster) fail the run immediately.
+bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kInternal;
+}
 
 StatusOr<Schema> ParseSchemaSpec(const std::string& spec) {
   std::vector<ColumnSpec> columns;
@@ -61,7 +106,7 @@ StatusOr<Schema> ParseSchemaSpec(const std::string& spec) {
     }
   }
   if (columns.empty()) return Status::InvalidArgument("empty schema spec");
-  return Schema(columns);
+  return Schema::Create(std::move(columns));
 }
 
 StatusOr<std::string> ReadFile(const std::string& path) {
@@ -78,8 +123,9 @@ int Usage(const char* argv0) {
       "usage: %s --r1=CSV --r1-schema=SPEC --r2=CSV --r2-schema=SPEC \\\n"
       "          --key1=COL --fk=COL --key2=COL --constraints=FILE \\\n"
       "          [--out-r1=CSV] [--out-r2=CSV] [--out-join=CSV] \\\n"
-      "          [--seed=N] [--threads=N] "
-      "[--method=hybrid|baseline|baseline-marginals]\n",
+      "          [--seed=N] [--threads=N] [--timeout-ms=N] "
+      "[--max-attempts=N] \\\n"
+      "          [--method=hybrid|baseline|baseline-marginals]\n",
       argv0);
   return 2;
 }
@@ -108,22 +154,40 @@ Status Run(const CliArgs& args) {
   std::printf("loaded R1=%zu rows, R2=%zu rows, %zu CCs, %zu DCs\n",
               r1.NumRows(), r2.NumRows(), spec.ccs.size(), spec.dcs.size());
 
-  SolverOptions options;
-  options.seed = args.seed;
-  options.phase2.num_threads = args.threads;
-  StatusOr<Solution> solution = Status::Internal("unset");
-  if (args.method == "hybrid") {
-    solution = SolveCExtension(r1, r2, names, spec.ccs, spec.dcs, options);
-  } else if (args.method == "baseline") {
-    solution = SolveBaseline(r1, r2, names, spec.ccs, spec.dcs,
-                             BaselineKind::kPlain, options);
-  } else if (args.method == "baseline-marginals") {
-    solution = SolveBaseline(r1, r2, names, spec.ccs, spec.dcs,
-                             BaselineKind::kWithMarginals, options);
-  } else {
+  if (args.method != "hybrid" && args.method != "baseline" &&
+      args.method != "baseline-marginals") {
     return Status::InvalidArgument("unknown method: " + args.method);
   }
+  size_t max_attempts = std::min(std::max<size_t>(args.max_attempts, 1),
+                                 kNumRungs);
+  StatusOr<Solution> solution = Status::Internal("unset");
+  for (size_t rung = 0; rung < max_attempts; ++rung) {
+    SolverOptions options = OptionsForAttempt(args, rung);
+    if (rung > 0) {
+      std::fprintf(stderr, "retrying with %s (attempt %zu/%zu)\n",
+                   kRungLabels[rung], rung + 1, max_attempts);
+    }
+    if (args.method == "hybrid") {
+      solution = SolveCExtension(r1, r2, names, spec.ccs, spec.dcs, options);
+    } else if (args.method == "baseline") {
+      solution = SolveBaseline(r1, r2, names, spec.ccs, spec.dcs,
+                               BaselineKind::kPlain, options);
+    } else {
+      solution = SolveBaseline(r1, r2, names, spec.ccs, spec.dcs,
+                               BaselineKind::kWithMarginals, options);
+    }
+    if (solution.ok()) break;
+    if (!IsRetryable(solution.status().code()) || rung + 1 == max_attempts) {
+      break;
+    }
+    std::fprintf(stderr, "solve failed: %s\n",
+                 solution.status().ToString().c_str());
+  }
   CEXTEND_RETURN_IF_ERROR(solution.status());
+  if (solution->stats.ladder.AnyDegradation()) {
+    std::fprintf(stderr, "note: degraded paths were used: %s\n",
+                 solution->stats.Summary().c_str());
+  }
 
   CEXTEND_ASSIGN_OR_RETURN(CcErrorReport cc_report,
                            EvaluateCcError(spec.ccs, solution->v_join));
@@ -171,6 +235,8 @@ int main(int argc, char** argv) {
     else if (const char* v = value("--method=")) args.method = v;
     else if (const char* v = value("--seed=")) args.seed = strtoull(v, nullptr, 10);
     else if (const char* v = value("--threads=")) args.threads = strtoull(v, nullptr, 10);
+    else if (const char* v = value("--timeout-ms=")) args.timeout_ms = strtoll(v, nullptr, 10);
+    else if (const char* v = value("--max-attempts=")) args.max_attempts = strtoull(v, nullptr, 10);
     else return cextend::Usage(argv[0]);
   }
   if (args.r1_path.empty() || args.r2_path.empty() ||
