@@ -13,17 +13,25 @@ StatusOr<FillState> FillState::Create(Table* v_join, const PairSchema& names,
     return Status::InvalidArgument(
         "binning row count does not match the join view");
   }
-  for (const std::string& b : names.r2_attrs) {
-    auto idx = v_join->schema().IndexOf(b);
-    if (!idx.has_value())
-      return Status::InvalidArgument("join view lacks B column " + b);
-    state.b_cols_.push_back(*idx);
-  }
+  CEXTEND_ASSIGN_OR_RETURN(state.b_cols_,
+                           ResolveBColumns(v_join->schema(), names));
   state.pools_.resize(binning->num_bins());
   for (size_t bin = 0; bin < binning->num_bins(); ++bin) {
     state.pools_[bin] = binning->rows(bin);
   }
   return state;
+}
+
+StatusOr<std::vector<size_t>> FillState::ResolveBColumns(
+    const Schema& schema, const PairSchema& names) {
+  std::vector<size_t> b_cols;
+  for (const std::string& b : names.r2_attrs) {
+    auto idx = schema.IndexOf(b);
+    if (!idx.has_value())
+      return Status::InvalidArgument("schema lacks B column " + b);
+    b_cols.push_back(*idx);
+  }
+  return b_cols;
 }
 
 std::vector<uint32_t> FillState::PopRows(size_t bin, size_t k) {

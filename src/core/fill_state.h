@@ -25,6 +25,13 @@ class FillState {
   static StatusOr<FillState> Create(Table* v_join, const PairSchema& names,
                                     const Binning* binning);
 
+  /// Resolves the B-column indices of `names` in `schema` (the columns every
+  /// phase writes its combos into). Shared by the fill state, the synthesis
+  /// planner, and the shard executor so a renamed or missing B column fails
+  /// identically everywhere.
+  static StatusOr<std::vector<size_t>> ResolveBColumns(const Schema& schema,
+                                                       const PairSchema& names);
+
   Table& v_join() { return *v_join_; }
   const Binning& binning() const { return *binning_; }
   const std::vector<size_t>& b_cols() const { return b_cols_; }

@@ -103,7 +103,7 @@ StatusOr<HybridResult> RunHybridPhase1(
   // final fill; bin counts restricted to unassigned rows are the paper's
   // "modified marginals" for the ILP.
   Binning binning;
-  ComboIndex combos;
+  ComboIndex& combos = result.combos;  // plan-scoped: outlives phase 1
   FillState state;
   {
     ScopedTimer timer(&stats.binning_seconds);

@@ -49,6 +49,10 @@ struct HybridStats {
 
 struct HybridResult {
   std::vector<uint32_t> invalid_rows;
+  /// The R2 combo index built for binning — plan-scoped state the solver
+  /// hands to BuildSynthesisPlan so repair combo selection reuses it instead
+  /// of rebuilding the index over R2.
+  ComboIndex combos;
   HybridStats stats;
 };
 

@@ -1,82 +1,12 @@
 #include "core/phase2.h"
 
-#include <algorithm>
-#include <atomic>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <optional>
-#include <unordered_map>
+#include <utility>
 
-#include "core/conflict.h"
-#include "graph/list_coloring.h"
-#include "util/fault_injection.h"
-#include "util/hash.h"
-#include "util/logging.h"
-#include "util/rng.h"
-#include "util/thread_pool.h"
+#include "core/plan.h"
+#include "core/shard_executor.h"
 #include "util/timer.h"
 
 namespace cextend {
-namespace {
-
-struct Partition {
-  std::vector<int64_t> combo;        // B codes
-  std::vector<uint32_t> rows;        // v_join row ids
-  std::vector<int64_t> candidates;   // existing K2 keys with this combo
-};
-
-/// B-combo vectors hash with the shared splitmix64 mix, so partition and
-/// candidate grouping are single-pass hashed lookups instead of ordered-map
-/// traversals with O(q) lexicographic compares per node.
-using ComboHash = CodeVectorHash;
-
-/// True when some `need`-subset of members[start..] completes `tuple` into a
-/// row set on which the DC body holds (any ordering).
-bool SubsetViolates(const Table& table, const BoundDenialConstraint& dc,
-                    const std::vector<size_t>& members,
-                    const std::vector<uint32_t>& rows, size_t start,
-                    size_t need, std::vector<uint32_t>& tuple) {
-  if (need == 0) return dc.BodyHoldsUnordered(table, tuple);
-  for (size_t i = start; i + need <= members.size(); ++i) {
-    tuple.push_back(rows[members[i]]);
-    if (SubsetViolates(table, dc, members, rows, i + 1, need - 1, tuple)) {
-      tuple.pop_back();
-      return true;
-    }
-    tuple.pop_back();
-  }
-  return false;
-}
-
-/// Direct-evaluation twin of PartitionOracle::WouldViolate for the repair
-/// fallback: true when giving `row` the same key as the bucket `members`
-/// (local ids into `rows`) violates any DC. Covers every arity uniformly;
-/// O(|bucket|^(arity-1)) per DC, used only when the per-combo oracle build
-/// exceeds its resource caps (which the enumeration-free scan never needs).
-bool ScanWouldViolate(const Table& table,
-                      const std::vector<BoundDenialConstraint>& dcs,
-                      uint32_t row, const std::vector<size_t>& members,
-                      const std::vector<uint32_t>& rows) {
-  for (const BoundDenialConstraint& dc : dcs) {
-    if (dc.arity() == 2) {
-      for (size_t m : members) {
-        if (rows[m] != row &&
-            dc.BodyHoldsUnordered(table, {row, rows[m]})) {
-          return true;
-        }
-      }
-      continue;
-    }
-    size_t need = static_cast<size_t>(dc.arity()) - 1;
-    if (members.size() < need) continue;
-    std::vector<uint32_t> tuple = {row};
-    if (SubsetViolates(table, dc, members, rows, 0, need, tuple)) return true;
-  }
-  return false;
-}
-
-}  // namespace
 
 StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
                                  const Table& r2, const PairSchema& names,
@@ -84,448 +14,35 @@ StatusOr<Phase2Result> RunPhase2(Table& v_join, const Table& r1,
                                  const std::vector<CardinalityConstraint>& ccs,
                                  const std::vector<uint32_t>& invalid_rows,
                                  const Phase2Options& options) {
-  Phase2Result result{r1.Clone(), r2.Clone(), {}};
-  Phase2Stats& stats = result.stats;
+  // Freeze the plan: repair combo selection (solveInvalidTuples pass 1,
+  // which writes the invalid rows' B cells), the combo layout, and the
+  // shard map.
+  SynthesisPlanOptions plan_options;
+  plan_options.seed = options.seed;
+  plan_options.num_shards = options.num_shards;
+  plan_options.num_threads_hint = options.num_threads;
+  PlanBuildTimings timings;
+  CEXTEND_ASSIGN_OR_RETURN(
+      SynthesisPlan plan,
+      BuildSynthesisPlan(v_join, r2, names, ccs, invalid_rows, plan_options,
+                         /*r2_combos=*/nullptr, &timings));
 
-  size_t fk_col = r1.schema().IndexOrDie(names.fk);
-  size_t k2_col = r2.schema().IndexOrDie(names.key2);
-  std::vector<size_t> b_cols_v;
-  for (const std::string& b : names.r2_attrs) {
-    b_cols_v.push_back(v_join.schema().IndexOrDie(b));
-  }
+  // Derive the runtime context (partitions, worklist, bound DCs, repair
+  // grouping) and stream every shard into an in-memory table sink.
+  double prepare_seconds = 0.0;
+  StatusOr<PreparedPlan> prepared = [&] {
+    ScopedTimer timer(&prepare_seconds);
+    return PreparePlan(plan, v_join, r2, names, dcs);
+  }();
+  CEXTEND_RETURN_IF_ERROR(prepared.status());
 
-  CEXTEND_ASSIGN_OR_RETURN(std::vector<BoundDenialConstraint> bound_dcs,
-                           BindAll(dcs, v_join));
-
-  std::vector<uint8_t> is_invalid(v_join.NumRows(), 0);
-  for (uint32_t r : invalid_rows) is_invalid[r] = 1;
-
-  // ---- Partition V_join by B values (Section 5.2 optimization). ----
-  // Partitions live in a vector (insertion order = first-row order, so the
-  // layout is deterministic); the hashed index gives O(1) amortized lookups.
-  std::vector<Partition> partitions;
-  std::unordered_map<std::vector<int64_t>, size_t, ComboHash> partition_index;
-  {
-    ScopedTimer timer(&stats.partition_seconds);
-    std::vector<int64_t> key(b_cols_v.size());
-    for (size_t r = 0; r < v_join.NumRows(); ++r) {
-      if (is_invalid[r]) continue;
-      for (size_t i = 0; i < b_cols_v.size(); ++i) {
-        key[i] = v_join.GetCode(r, b_cols_v[i]);
-      }
-      auto [it, inserted] = partition_index.try_emplace(key, partitions.size());
-      if (inserted) partitions.push_back(Partition{key, {}, {}});
-      partitions[it->second].rows.push_back(static_cast<uint32_t>(r));
-    }
-    // Candidate keys per partition from R2, attached in a single hashed pass
-    // (combos absent from V_join are simply skipped).
-    std::vector<int64_t> r2key(b_cols_v.size());
-    std::vector<size_t> b_cols_r2;
-    for (const std::string& b : names.r2_attrs) {
-      b_cols_r2.push_back(r2.schema().IndexOrDie(b));
-    }
-    for (size_t r = 0; r < r2.NumRows(); ++r) {
-      for (size_t i = 0; i < b_cols_r2.size(); ++i) {
-        r2key[i] = r2.GetCode(r, b_cols_r2[i]);
-      }
-      auto it = partition_index.find(r2key);
-      if (it != partition_index.end()) {
-        partitions[it->second].candidates.push_back(r2.GetCode(r, k2_col));
-      }
-    }
-    for (Partition& p : partitions) {
-      std::sort(p.candidates.begin(), p.candidates.end());
-    }
-    stats.num_partitions = partitions.size();
-  }
-
-  // ---- solveInvalidTuples pass 1 (Algorithm 4 line 16, selection half). ----
-  // Picks each invalid row's min-badness combo (fewest CCs newly satisfied)
-  // and writes its B cells. The choice depends only on the row's A values and
-  // the CC conditions — never on coloring — so it runs *before* coloring:
-  // that way the set of repair-touched combos is known up front, and those
-  // combos' partitions can hand their conflict oracle to the repair pass
-  // instead of the repair pass rebuilding one per combo. Partitions exclude
-  // invalid rows, so the B-cell mutations cannot perturb partitioning or
-  // coloring. Rows are grouped by target combo preserving input order within
-  // a group (rows of different combos can never share a key, so cross-group
-  // order is irrelevant to the result).
-  std::optional<ComboIndex> combos;
-  std::map<size_t, std::vector<uint32_t>> repair_groups;
-  {
-    ScopedTimer timer(&stats.invalid_seconds);
-    stats.invalid_rows = invalid_rows.size();
-    if (!invalid_rows.empty()) {
-      CEXTEND_ASSIGN_OR_RETURN(ComboIndex built, ComboIndex::Build(r2, names));
-      combos.emplace(std::move(built));
-      // Bind CC conditions once.
-      std::vector<BoundPredicate> cc_r1;
-      std::vector<std::vector<char>> cc_combo(ccs.size());
-      for (size_t c = 0; c < ccs.size(); ++c) {
-        CEXTEND_ASSIGN_OR_RETURN(
-            BoundPredicate p1,
-            BoundPredicate::Bind(ccs[c].r1_condition, v_join));
-        cc_r1.push_back(std::move(p1));
-        cc_combo[c].assign(combos->num_combos(), 0);
-        CEXTEND_ASSIGN_OR_RETURN(std::vector<size_t> match,
-                                 combos->MatchingCombos(ccs[c].r2_condition));
-        for (size_t i : match) cc_combo[c][i] = 1;
-      }
-      for (uint32_t row : invalid_rows) {
-        size_t best_combo = 0;
-        int64_t best_badness = INT64_MAX;
-        for (size_t i = 0; i < combos->num_combos(); ++i) {
-          int64_t badness = 0;
-          for (size_t c = 0; c < ccs.size(); ++c) {
-            if (cc_combo[c][i] && cc_r1[c].Matches(v_join, row)) ++badness;
-          }
-          if (badness < best_badness) {
-            best_badness = badness;
-            best_combo = i;
-            if (badness == 0) break;
-          }
-        }
-        const std::vector<int64_t>& combo = combos->combo_codes(best_combo);
-        for (size_t i = 0; i < b_cols_v.size(); ++i) {
-          v_join.SetCode(row, b_cols_v[i], combo[i]);
-        }
-        repair_groups[best_combo].push_back(row);
-      }
-    }
-  }
-
-  // Fresh key allocation. During (possibly parallel) coloring, tasks draw
-  // *provisional* keys from a shared atomic counter and record every
-  // allocation per task; once coloring ends, the provisional keys are
-  // renumbered into worklist order (then allocation order within a task), so
-  // the final key values and R2-tuple list are independent of thread
-  // scheduling. The serial path goes through the identical machinery.
-  int64_t fresh_base = 0;
-  for (size_t r = 0; r < r2.NumRows(); ++r) {
-    fresh_base = std::max(fresh_base, r2.GetCode(r, k2_col) + 1);
-  }
-  std::atomic<int64_t> provisional_next{fresh_base};
-  struct NewTuple {
-    int64_t key;
-    std::vector<int64_t> combo;
-  };
-  struct Allocation {
-    std::vector<int64_t> combo;
-    std::vector<int64_t> keys;  // provisional, remapped after coloring
-  };
-  std::vector<std::vector<Allocation>> task_allocs;
-  auto allocate_provisional = [&](size_t task, size_t count,
-                                  const std::vector<int64_t>& combo) {
-    std::vector<int64_t> keys(count);
-    int64_t first = provisional_next.fetch_add(static_cast<int64_t>(count),
-                                               std::memory_order_relaxed);
-    for (size_t i = 0; i < count; ++i) keys[i] = first + static_cast<int64_t>(i);
-    // Tasks only touch their own slot, so no lock is needed.
-    task_allocs[task].push_back(Allocation{combo, keys});
-    return keys;
-  };
-
-  // Global per-row color (key) array; partitions touch disjoint rows.
-  std::vector<int64_t> row_color(v_join.NumRows(), kNoColor);
-
-  // ---- Color each partition (Algorithm 4 lines 2-15). ----
-  std::vector<Partition*> worklist;
-  worklist.reserve(partitions.size());
-  for (Partition& p : partitions) worklist.push_back(&p);
-  // Large partitions first: better load balance under parallelism and
-  // deterministic order when sequential (stable sort keeps the insertion
-  // order of equal-size partitions).
-  std::stable_sort(worklist.begin(), worklist.end(),
-                   [](const Partition* a, const Partition* b) {
-                     return a->rows.size() > b->rows.size();
-                   });
-  task_allocs.resize(worklist.size());
-
-  // Partitions whose combo is a repair target retain their coloring oracle
-  // for solveInvalidTuples (slots are per-task, so parallel writes are safe);
-  // every other partition's oracle dies with its coloring task as before.
-  std::vector<std::unique_ptr<PartitionOracle>> kept_oracles(worklist.size());
-  std::vector<uint8_t> keep_oracle(worklist.size(), 0);
-  std::vector<size_t> worklist_idx_of_partition(partitions.size());
-  for (size_t i = 0; i < worklist.size(); ++i) {
-    worklist_idx_of_partition[static_cast<size_t>(
-        worklist[i] - partitions.data())] = i;
-  }
-  if (options.reuse_repair_oracles) {
-    for (const auto& [combo_id, group] : repair_groups) {
-      auto pit = partition_index.find(combos->combo_codes(combo_id));
-      if (pit != partition_index.end()) {
-        keep_oracle[worklist_idx_of_partition[pit->second]] = 1;
-      }
-    }
-  }
-
-  // One pool serves both levels of parallelism: partitions fan out across
-  // it, and each partition's conflict-graph build can fan its per-DC pair
-  // emission out on the same pool (ParallelFor is nested-safe: the caller
-  // participates and waits on a per-call latch). Oracle output is
-  // byte-identical to the serial build, so determinism is unaffected.
-  std::unique_ptr<ThreadPool> pool;
-  if (options.num_threads > 1) {
-    pool = std::make_unique<ThreadPool>(options.num_threads);
-  }
-
-  ConflictOracleOptions oracle_options;
-  oracle_options.force_naive = options.use_naive_oracle;
-  oracle_options.pool = pool.get();
-  oracle_options.run_control = options.run_control;
-
-  Status first_error = Status::Ok();
-  std::mutex error_mu;
-  std::mutex stats_mu;
-  auto color_partition = [&](size_t idx, Rng& local_rng) {
-    if (options.run_control.CanInterrupt()) {
-      Status rc = options.run_control.Check();
-      if (!rc.ok()) {
-        std::unique_lock<std::mutex> lock(error_mu);
-        if (first_error.ok()) first_error = std::move(rc);
-        return;
-      }
-    }
-    Partition& p = *worklist[idx];
-    if (options.random_assignment) {
-      for (uint32_t row : p.rows) {
-        int64_t key;
-        if (p.candidates.empty()) {
-          key = allocate_provisional(idx, 1, p.combo)[0];
-        } else {
-          key = local_rng.Choice(p.candidates);
-        }
-        row_color[row] = key;
-      }
-      return;
-    }
-    BuildOracleInfo build_info;
-    auto oracle_or = BuildPartitionOracle(v_join, bound_dcs, p.rows,
-                                          oracle_options, &build_info);
-    if (!oracle_or.ok()) {
-      std::unique_lock<std::mutex> lock(error_mu);
-      if (first_error.ok()) first_error = oracle_or.status();
-      return;
-    }
-    const PartitionOracle& oracle = *oracle_or.value();
-    ListColoringResult coloring =
-        GreedyListColoring(oracle, {}, p.candidates);
-    size_t skipped_here = coloring.skipped.size();
-    // Lines 11-14: |s| fresh colors, then color the skipped vertices with
-    // them; iterate in the (k-ary) corner case where skips remain.
-    while (!coloring.skipped.empty()) {
-      std::vector<int64_t> fresh =
-          allocate_provisional(idx, coloring.skipped.size(), p.combo);
-      ListColoringResult next =
-          GreedyListColoring(oracle, std::move(coloring.colors), fresh);
-      CEXTEND_CHECK(next.skipped.size() < coloring.skipped.size())
-          << "fresh-color pass must make progress";
-      coloring = std::move(next);
-      skipped_here += coloring.skipped.size();
-    }
-    for (size_t v = 0; v < p.rows.size(); ++v) {
-      row_color[p.rows[v]] = coloring.colors[v];
-    }
-    if (keep_oracle[idx]) kept_oracles[idx] = std::move(oracle_or).value();
-    {
-      std::unique_lock<std::mutex> lock(stats_mu);
-      stats.skipped_vertices += skipped_here;
-      if (build_info.naive_fallback) ++stats.naive_oracle_fallbacks;
-      stats.biclique_overflows += build_info.biclique_overflows;
-    }
-  };
-
-  // One deterministic RNG per task index, derived identically on the serial
-  // and parallel paths, so num_threads never changes the output.
-  auto task_rng_for = [&](size_t idx) {
-    return Rng(options.seed ^ (0x9E3779B97F4A7C15ULL * (idx + 1)));
-  };
-  {
-    ScopedTimer timer(&stats.coloring_seconds);
-    if (pool != nullptr) {
-      ParallelFor(pool.get(), worklist.size(), [&](size_t idx) {
-        Rng task_rng = task_rng_for(idx);
-        color_partition(idx, task_rng);
-      });
-    } else {
-      for (size_t idx = 0; idx < worklist.size(); ++idx) {
-        Rng task_rng = task_rng_for(idx);
-        color_partition(idx, task_rng);
-      }
-    }
-  }
-  if (!first_error.ok()) return first_error;
-
-  // ---- Deterministic renumbering of provisional fresh keys. ----
-  // Scheduling decides which provisional values each task drew, but the
-  // per-task allocation *sequences* are deterministic (coloring is), so
-  // remapping them in worklist order restores a scheduling-independent key
-  // space. new_tuples is rebuilt in the same order.
-  std::vector<NewTuple> new_tuples;
-  int64_t next_key = fresh_base;
-  {
-    std::unordered_map<int64_t, int64_t> remap;
-    for (const std::vector<Allocation>& allocs : task_allocs) {
-      for (const Allocation& a : allocs) {
-        for (int64_t provisional : a.keys) {
-          remap.emplace(provisional, next_key);
-          new_tuples.push_back(NewTuple{next_key, a.combo});
-          ++next_key;
-        }
-      }
-    }
-    if (!remap.empty()) {
-      for (size_t r = 0; r < v_join.NumRows(); ++r) {
-        if (row_color[r] >= fresh_base) row_color[r] = remap.at(row_color[r]);
-      }
-    }
-  }
-
-  // ---- solveInvalidTuples (line 16), oracle-backed. ----
-  // Runs after the renumbering pass, so its (serial) fresh keys extend the
-  // deterministic key space directly.
-  auto allocate_fresh = [&](const std::vector<int64_t>& combo) {
-    int64_t key = next_key++;
-    new_tuples.push_back(NewTuple{key, combo});
-    return key;
-  };
-  {
-    ScopedTimer timer(&stats.invalid_seconds);
-    if (!repair_groups.empty()) {
-      // Pass 2: per touched combo, probe candidate keys for each repaired
-      // row against the current same-key bucket. The conflict source is one
-      // of:
-      //
-      //  * The combo's partition oracle retained from coloring (reuse path):
-      //    no per-combo rebuild. Repair probes involve only the repaired
-      //    (extension) rows — vertices the partition oracle never saw — so
-      //    probes evaluate the DCs directly (ScanWouldViolate, every arity);
-      //    the cached oracle anchors the invalidation protocol: it is only
-      //    trusted while repair's B-cell mutations touched none of its rows.
-      //  * A freshly built oracle over the partition's colored rows plus the
-      //    group's repaired rows (their B cells now carry the combo, so DC
-      //    side predicates evaluate on them like any other row); its
-      //    hypergraph covers every arity >= 3 uniformly and each probe is
-      //    O(|bucket|).
-      //  * Direct ScanWouldViolate evaluation when the rebuild trips a
-      //    resource cap (hyperedge enumeration or pair budget on a row set
-      //    the coloring phase never saw) — needs no enumeration and also
-      //    covers every arity.
-      //
-      // All three sources answer the identical question, so the chosen keys
-      // are bit-identical across them (equivalence-tested).
-      ConflictOracleOptions repair_oracle_options = oracle_options;
-      if (options.max_hyperedge_candidates > 0) {
-        repair_oracle_options.max_hyperedge_candidates =
-            options.max_hyperedge_candidates;
-      }
-      for (const auto& [combo_id, group] : repair_groups) {
-        CEXTEND_RETURN_IF_ERROR(options.run_control.Check());
-        const std::vector<int64_t>& combo = combos->combo_codes(combo_id);
-        std::vector<uint32_t> oracle_rows;
-        const PartitionOracle* cached = nullptr;
-        auto pit = partition_index.find(combo);
-        if (pit != partition_index.end()) {
-          oracle_rows = partitions[pit->second].rows;
-          cached = kept_oracles[worklist_idx_of_partition[pit->second]].get();
-        }
-        size_t num_colored = oracle_rows.size();
-        oracle_rows.insert(oracle_rows.end(), group.begin(), group.end());
-        bool use_cached = cached != nullptr;
-        if (use_cached) {
-          // Invalidation: repair only mutates B cells of invalid rows, and
-          // partitions never contain invalid rows, so a retained oracle's
-          // row set stays clean by construction; the check is the protocol's
-          // safety net should that invariant ever move.
-          for (uint32_t r : cached->rows()) {
-            if (is_invalid[r]) {
-              use_cached = false;
-              ++stats.repair_oracle_invalidations;
-              break;
-            }
-          }
-        }
-        std::unique_ptr<PartitionOracle> rebuilt;
-        if (use_cached) {
-          ++stats.repair_oracle_cache_hits;
-        } else if (CEXTEND_INJECT_FAULT("phase2.repair_oracle")) {
-          // Simulated rebuild resource exhaustion: the group degrades to
-          // direct ScanWouldViolate probes (oracle-probe→scan-probe rung).
-          ++stats.scan_probe_repairs;
-        } else {
-          BuildOracleInfo build_info;
-          auto oracle_or =
-              BuildPartitionOracle(v_join, bound_dcs, oracle_rows,
-                                   repair_oracle_options, &build_info);
-          if (!oracle_or.ok() &&
-              oracle_or.status().code() != StatusCode::kResourceExhausted) {
-            return oracle_or.status();
-          }
-          if (oracle_or.ok()) {
-            rebuilt = std::move(oracle_or).value();
-            ++stats.repair_oracles;
-            ++stats.repair_oracle_rebuilds;
-            if (build_info.naive_fallback) ++stats.naive_oracle_fallbacks;
-            stats.biclique_overflows += build_info.biclique_overflows;
-          } else {
-            ++stats.scan_probe_repairs;
-          }
-        }
-        // Same-key buckets as local vertex ids.
-        std::unordered_map<int64_t, std::vector<size_t>> bucket;
-        for (size_t v = 0; v < num_colored; ++v) {
-          bucket[row_color[oracle_rows[v]]].push_back(v);
-        }
-        for (size_t g = 0; g < group.size(); ++g) {
-          size_t local = num_colored + g;
-          uint32_t row = group[g];
-          int64_t chosen = kNoColor;
-          for (int64_t key : combos->keys(combo_id)) {
-            auto it = bucket.find(key);
-            bool ok =
-                it == bucket.end() ||
-                (rebuilt != nullptr
-                     ? !rebuilt->WouldViolate(local, it->second)
-                     : !ScanWouldViolate(v_join, bound_dcs, row, it->second,
-                                         oracle_rows));
-            if (ok) {
-              chosen = key;
-              break;
-            }
-          }
-          if (chosen == kNoColor) chosen = allocate_fresh(combo);
-          row_color[row] = chosen;
-          bucket[chosen].push_back(local);
-        }
-      }
-    }
-  }
-
-  // ---- Write results. ----
-  for (size_t r = 0; r < v_join.NumRows(); ++r) {
-    CEXTEND_CHECK(row_color[r] != kNoColor) << "row " << r << " uncolored";
-    result.r1_hat.SetCode(r, fk_col, row_color[r]);
-  }
-  // Append new R2 tuples: key + combo values (shared dictionaries make the
-  // codes directly transferable).
-  std::vector<size_t> b_cols_r2;
-  for (const std::string& b : names.r2_attrs) {
-    b_cols_r2.push_back(r2.schema().IndexOrDie(b));
-  }
-  std::sort(new_tuples.begin(), new_tuples.end(),
-            [](const NewTuple& a, const NewTuple& b) { return a.key < b.key; });
-  std::vector<int64_t> codes(r2.schema().NumColumns());
-  for (const NewTuple& t : new_tuples) {
-    codes.assign(r2.schema().NumColumns(), kNullCode);
-    codes[k2_col] = t.key;
-    for (size_t i = 0; i < b_cols_r2.size(); ++i) {
-      codes[b_cols_r2[i]] = t.combo[i];
-    }
-    result.r2_hat.AppendRowCodes(codes);
-  }
-  stats.new_r2_tuples = new_tuples.size();
-  return result;
+  TableSink sink(r1, r2, names);
+  CEXTEND_ASSIGN_OR_RETURN(Phase2Stats stats,
+                           ExecutePlan(prepared.value(), options, &sink));
+  stats.partition_seconds += timings.layout_seconds + prepare_seconds;
+  stats.invalid_seconds += timings.selection_seconds;
+  return Phase2Result{std::move(sink.r1_hat()), std::move(sink.r2_hat()),
+                      stats};
 }
 
 }  // namespace cextend

@@ -11,6 +11,12 @@
 // parallel (Appendix A.3); fresh keys are renumbered deterministically after
 // coloring and all RNG streams are derived per partition, so the output is
 // identical at any thread count for a fixed seed.
+//
+// RunPhase2 is the legacy whole-table entry point: it freezes a
+// SynthesisPlan (core/plan.h), streams it through the bounded-memory shard
+// executor (core/shard_executor.h) into an in-memory TableSink, and returns
+// the collected tables — bit-identical to the former monolithic
+// implementation for every (num_shards, max_resident_shards, num_threads).
 
 #ifndef CEXTEND_CORE_PHASE2_H_
 #define CEXTEND_CORE_PHASE2_H_
@@ -55,6 +61,14 @@ struct Phase2Options {
   /// Deadline/cancellation, checked at every partition-coloring task start
   /// and per repair combo group, and forwarded into oracle construction.
   RunControl run_control;
+  /// Number of phase-2 emission shards (contiguous worklist ranges). 0 =
+  /// auto (see SynthesisPlanOptions::num_shards). The shard map never
+  /// changes the output, only the executor's memory/parallelism granularity.
+  size_t num_shards = 0;
+  /// Bounded-memory admission: at most this many emitted-but-unretired
+  /// shards in flight at once (0 = unbounded). 1 streams strictly
+  /// shard-by-shard; output is identical for every value.
+  size_t max_resident_shards = 0;
 };
 
 struct Phase2Stats {
@@ -83,6 +97,14 @@ struct Phase2Stats {
   size_t naive_oracle_fallbacks = 0;
   size_t biclique_overflows = 0;
   size_t scan_probe_repairs = 0;
+  /// Shard-executor accounting: shards retired to the sink, failed emissions
+  /// regenerated in place from the plan (no whole-run restart), and the
+  /// bounded-memory high-water marks — most shards simultaneously in flight
+  /// and peak resident bytes of emitted-but-unretired shard output.
+  size_t shards_emitted = 0;
+  size_t shard_regenerations = 0;
+  size_t max_shards_in_flight = 0;
+  size_t peak_resident_bytes = 0;
 };
 
 struct Phase2Result {

@@ -1,0 +1,596 @@
+#include "core/shard_executor.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <unordered_map>
+
+#include "core/conflict.h"
+#include "graph/list_coloring.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace cextend {
+namespace {
+
+/// True when some `need`-subset of members[start..] completes `tuple` into a
+/// row set on which the DC body holds (any ordering).
+bool SubsetViolates(const Table& table, const BoundDenialConstraint& dc,
+                    const std::vector<size_t>& members,
+                    const std::vector<uint32_t>& rows, size_t start,
+                    size_t need, std::vector<uint32_t>& tuple) {
+  if (need == 0) return dc.BodyHoldsUnordered(table, tuple);
+  for (size_t i = start; i + need <= members.size(); ++i) {
+    tuple.push_back(rows[members[i]]);
+    if (SubsetViolates(table, dc, members, rows, i + 1, need - 1, tuple)) {
+      tuple.pop_back();
+      return true;
+    }
+    tuple.pop_back();
+  }
+  return false;
+}
+
+/// Direct-evaluation twin of PartitionOracle::WouldViolate for the repair
+/// stage: true when giving `row` the same key as the bucket `members` (local
+/// ids into `rows`) violates any DC. Covers every arity uniformly;
+/// O(|bucket|^(arity-1)) per DC. Used on the oracle-reuse path (repair rows
+/// are vertices no retained oracle ever saw) and when a per-combo rebuild
+/// exceeds its resource caps.
+bool ScanWouldViolate(const Table& table,
+                      const std::vector<BoundDenialConstraint>& dcs,
+                      uint32_t row, const std::vector<size_t>& members,
+                      const std::vector<uint32_t>& rows) {
+  for (const BoundDenialConstraint& dc : dcs) {
+    if (dc.arity() == 2) {
+      for (size_t m : members) {
+        if (rows[m] != row &&
+            dc.BodyHoldsUnordered(table, {row, rows[m]})) {
+          return true;
+        }
+      }
+      continue;
+    }
+    size_t need = static_cast<size_t>(dc.arity()) - 1;
+    if (members.size() < need) continue;
+    std::vector<uint32_t> tuple = {row};
+    if (SubsetViolates(table, dc, members, rows, 0, need, tuple)) return true;
+  }
+  return false;
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutI64(std::string* out, int64_t v) { PutU64(out, static_cast<uint64_t>(v)); }
+
+/// Renumbers a completed shard's provisional fresh keys into the global key
+/// sequence starting at `*next_key` and mints the new R2 tuples. Provisional
+/// values are fresh_base + the shard-local allocation index, so the offset
+/// doubles as the allocation-order position — renumbering in shard order
+/// reproduces the monolithic solver's worklist-order renumbering exactly.
+ResolvedShard ResolveShard(const PreparedPlan& prepared,
+                           const ShardOutput& out, int64_t* next_key) {
+  ResolvedShard shard;
+  shard.shard_id = out.shard_id;
+  const int64_t fresh_base = prepared.fresh_base;
+  const int64_t shard_first = *next_key;
+  int64_t assigned = 0;
+  shard.blocks.reserve(out.blocks.size());
+  for (const ShardOutput::Block& block : out.blocks) {
+    ResolvedShard::Block rb;
+    rb.worklist_idx = block.worklist_idx;
+    rb.rows.reserve(block.rows.size());
+    for (ShardRow r : block.rows) {
+      if (r.key >= fresh_base) r.key = shard_first + (r.key - fresh_base);
+      rb.rows.push_back(r);
+    }
+    const std::vector<int64_t>& combo =
+        prepared.partitions[block.partition].combo;
+    rb.new_tuples.reserve(block.num_fresh);
+    for (uint64_t i = 0; i < block.num_fresh; ++i) {
+      rb.new_tuples.push_back(
+          ResolvedShard::NewTuple{shard_first + assigned, combo});
+      ++assigned;
+    }
+    shard.blocks.push_back(std::move(rb));
+  }
+  *next_key = shard_first + assigned;
+  return shard;
+}
+
+}  // namespace
+
+size_t ShardOutput::ApproxBytes() const {
+  size_t bytes = sizeof(ShardOutput) + blocks.capacity() * sizeof(Block);
+  for (const Block& b : blocks) bytes += b.rows.capacity() * sizeof(ShardRow);
+  return bytes;
+}
+
+std::string SerializeShardOutput(const ShardOutput& out) {
+  std::string bytes;
+  PutU64(&bytes, out.shard_id);
+  PutU64(&bytes, out.blocks.size());
+  for (const ShardOutput::Block& b : out.blocks) {
+    PutU64(&bytes, b.worklist_idx);
+    PutU64(&bytes, b.partition);
+    PutU64(&bytes, b.num_fresh);
+    PutU64(&bytes, b.rows.size());
+    for (ShardRow r : b.rows) {
+      PutU64(&bytes, r.row);
+      PutI64(&bytes, r.key);
+    }
+  }
+  return bytes;
+}
+
+std::string SerializeResolvedShard(const ResolvedShard& shard) {
+  std::string bytes;
+  PutU64(&bytes, shard.shard_id);
+  PutU64(&bytes, shard.blocks.size());
+  for (const ResolvedShard::Block& b : shard.blocks) {
+    PutU64(&bytes, b.worklist_idx);
+    PutU64(&bytes, b.rows.size());
+    for (ShardRow r : b.rows) {
+      PutU64(&bytes, r.row);
+      PutI64(&bytes, r.key);
+    }
+    PutU64(&bytes, b.new_tuples.size());
+    for (const ResolvedShard::NewTuple& t : b.new_tuples) {
+      PutI64(&bytes, t.key);
+      PutU64(&bytes, t.combo.size());
+      for (int64_t code : t.combo) PutI64(&bytes, code);
+    }
+  }
+  return bytes;
+}
+
+// ---- TableSink ----
+
+TableSink::TableSink(const Table& r1, const Table& r2, const PairSchema& names)
+    : r1_hat_(r1.Clone()), r2_hat_(r2.Clone()) {
+  fk_col_ = r1.schema().IndexOrDie(names.fk);
+  k2_col_ = r2.schema().IndexOrDie(names.key2);
+  for (const std::string& b : names.r2_attrs) {
+    b_cols_r2_.push_back(r2.schema().IndexOrDie(b));
+  }
+}
+
+Status TableSink::Begin(const PreparedPlan& prepared) {
+  expected_rows_ = prepared.plan->num_rows;
+  return Status::Ok();
+}
+
+Status TableSink::Consume(const ResolvedShard& shard) {
+  std::vector<int64_t> codes(r2_hat_.schema().NumColumns());
+  for (const ResolvedShard::Block& block : shard.blocks) {
+    for (ShardRow r : block.rows) {
+      CEXTEND_CHECK(r.key != kNoColor) << "row " << r.row << " uncolored";
+      r1_hat_.SetCode(r.row, fk_col_, r.key);
+      ++rows_written_;
+    }
+    for (const ResolvedShard::NewTuple& t : block.new_tuples) {
+      codes.assign(r2_hat_.schema().NumColumns(), kNullCode);
+      codes[k2_col_] = t.key;
+      for (size_t i = 0; i < b_cols_r2_.size(); ++i) {
+        codes[b_cols_r2_[i]] = t.combo[i];
+      }
+      r2_hat_.AppendRowCodes(codes);
+      ++new_r2_tuples_;
+    }
+  }
+  return Status::Ok();
+}
+
+Status TableSink::Finish() {
+  if (rows_written_ != expected_rows_) {
+    return Status::Internal("shard executor retired " +
+                            std::to_string(rows_written_) + " rows, expected " +
+                            std::to_string(expected_rows_));
+  }
+  return Status::Ok();
+}
+
+// ---- TextStreamSink ----
+
+Status TextStreamSink::Begin(const PreparedPlan& prepared) {
+  out_ << "cextend-stream v1 rows=" << prepared.plan->num_rows
+       << " b=" << prepared.plan->b_names.size()
+       << " seed=" << prepared.plan->seed << "\n";
+  return out_.good() ? Status::Ok() : Status::Internal("stream write failed");
+}
+
+Status TextStreamSink::Consume(const ResolvedShard& shard) {
+  for (const ResolvedShard::Block& block : shard.blocks) {
+    for (ShardRow r : block.rows) {
+      out_ << "r " << r.row << " " << r.key << "\n";
+      ++rows_written_;
+    }
+    for (const ResolvedShard::NewTuple& t : block.new_tuples) {
+      out_ << "n " << t.key;
+      for (int64_t code : t.combo) out_ << " " << code;
+      out_ << "\n";
+      ++tuples_written_;
+    }
+  }
+  return out_.good() ? Status::Ok() : Status::Internal("stream write failed");
+}
+
+Status TextStreamSink::Finish() {
+  out_ << "end rows=" << rows_written_ << " new=" << tuples_written_ << "\n";
+  out_.flush();
+  return out_.good() ? Status::Ok() : Status::Internal("stream write failed");
+}
+
+// ---- TeeSink ----
+
+Status TeeSink::Begin(const PreparedPlan& prepared) {
+  CEXTEND_RETURN_IF_ERROR(a_->Begin(prepared));
+  return b_->Begin(prepared);
+}
+
+Status TeeSink::Consume(const ResolvedShard& shard) {
+  CEXTEND_RETURN_IF_ERROR(a_->Consume(shard));
+  return b_->Consume(shard);
+}
+
+Status TeeSink::Finish() {
+  CEXTEND_RETURN_IF_ERROR(a_->Finish());
+  return b_->Finish();
+}
+
+// ---- EmitShard ----
+
+StatusOr<ShardOutput> EmitShard(const PreparedPlan& prepared, size_t shard_id,
+                                const Phase2Options& options,
+                                ThreadPool* pool) {
+  const SynthesisPlan& plan = *prepared.plan;
+  if (shard_id >= plan.num_shards()) {
+    return Status::InvalidArgument("shard id out of range");
+  }
+  if (CEXTEND_INJECT_FAULT("shard.emit")) {
+    return Status::Internal("injected fault: shard " +
+                            std::to_string(shard_id) + " emission failed");
+  }
+  const Table& v_join = *prepared.v_join;
+
+  ConflictOracleOptions oracle_options;
+  oracle_options.force_naive = options.use_naive_oracle;
+  oracle_options.pool = pool;
+  oracle_options.run_control = options.run_control;
+
+  ShardOutput out;
+  out.shard_id = shard_id;
+  // Provisional fresh keys: fresh_base + a shard-local counter, in the same
+  // allocation order the monolithic solver's per-task records preserved.
+  // They cannot collide with real candidates (all < fresh_base) and carry
+  // their renumbering position in the offset.
+  int64_t provisional_next = prepared.fresh_base;
+
+  for (uint64_t idx = plan.shard_begin[shard_id];
+       idx < plan.shard_begin[shard_id + 1]; ++idx) {
+    if (options.run_control.CanInterrupt()) {
+      CEXTEND_RETURN_IF_ERROR(options.run_control.Check());
+    }
+    const PlanPartition& p = prepared.partitions[prepared.worklist[idx]];
+    // Derived from the *global* worklist index — identical to the monolithic
+    // per-task stream, so the shard map can never change the output.
+    Rng rng(plan.seed ^ (0x9E3779B97F4A7C15ULL * (idx + 1)));
+
+    ShardOutput::Block block;
+    block.worklist_idx = idx;
+    block.partition = prepared.worklist[idx];
+    if (options.random_assignment) {
+      block.rows.reserve(p.rows.size());
+      for (uint32_t row : p.rows) {
+        int64_t key;
+        if (p.candidates.empty()) {
+          key = provisional_next++;
+          ++block.num_fresh;
+        } else {
+          key = rng.Choice(p.candidates);
+        }
+        block.rows.push_back(ShardRow{row, key});
+      }
+      out.blocks.push_back(std::move(block));
+      continue;
+    }
+    BuildOracleInfo build_info;
+    CEXTEND_ASSIGN_OR_RETURN(
+        std::unique_ptr<PartitionOracle> oracle,
+        BuildPartitionOracle(v_join, prepared.bound_dcs, p.rows,
+                             oracle_options, &build_info));
+    ListColoringResult coloring = GreedyListColoring(*oracle, {}, p.candidates);
+    size_t skipped_here = coloring.skipped.size();
+    // |s| fresh colors, then color the skipped vertices with them; iterate
+    // in the (k-ary) corner case where skips remain.
+    while (!coloring.skipped.empty()) {
+      std::vector<int64_t> fresh(coloring.skipped.size());
+      for (int64_t& key : fresh) key = provisional_next++;
+      block.num_fresh += fresh.size();
+      ListColoringResult next =
+          GreedyListColoring(*oracle, std::move(coloring.colors), fresh);
+      CEXTEND_CHECK(next.skipped.size() < coloring.skipped.size())
+          << "fresh-color pass must make progress";
+      coloring = std::move(next);
+      skipped_here += coloring.skipped.size();
+    }
+    block.rows.resize(p.rows.size());
+    for (size_t v = 0; v < p.rows.size(); ++v) {
+      block.rows[v] = ShardRow{p.rows[v], coloring.colors[v]};
+    }
+    out.skipped_vertices += skipped_here;
+    if (build_info.naive_fallback) ++out.naive_oracle_fallbacks;
+    out.biclique_overflows += build_info.biclique_overflows;
+    out.blocks.push_back(std::move(block));
+  }
+  return out;
+}
+
+// ---- ExecutePlan ----
+
+StatusOr<Phase2Stats> ExecutePlan(const PreparedPlan& prepared,
+                                  const Phase2Options& options, RowSink* sink) {
+  const SynthesisPlan& plan = *prepared.plan;
+  const size_t num_shards = plan.num_shards();
+  Phase2Stats stats;
+  stats.num_partitions = prepared.partitions.size();
+  stats.invalid_rows = plan.invalid_rows.size();
+  CEXTEND_RETURN_IF_ERROR(sink->Begin(prepared));
+
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
+
+  // Partitions whose combo is a repair target have their resolved colors
+  // retained at retirement — the only per-row state the repair stage needs,
+  // replacing the monolithic solver's whole-database color array + retained
+  // oracles (repair probes on the reuse path evaluate the DCs directly).
+  std::vector<uint8_t> is_repair_partition(prepared.partitions.size(), 0);
+  for (const auto& [combo_id, group] : prepared.repair_groups) {
+    auto it =
+        prepared.partition_index.find(prepared.combos.combo_codes(combo_id));
+    if (it != prepared.partition_index.end()) {
+      is_repair_partition[it->second] = 1;
+    }
+  }
+  std::unordered_map<uint32_t, int64_t> repair_colors;
+
+  const size_t window = options.max_resident_shards == 0
+                            ? std::max<size_t>(1, num_shards)
+                            : std::max<size_t>(1, options.max_resident_shards);
+  const size_t workers = std::max<size_t>(
+      1, std::min({std::max<size_t>(1, options.num_threads), num_shards,
+                   window}));
+
+  int64_t next_key = prepared.fresh_base;
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t next_admit = 0;
+  size_t next_retire = 0;
+  size_t resident_bytes = 0;
+  std::vector<size_t> charged(num_shards, 0);
+  std::vector<std::unique_ptr<ShardOutput>> completed(num_shards);
+  Status first_error = Status::Ok();
+
+  {
+    ScopedTimer timer(&stats.coloring_seconds);
+    auto worker = [&]() {
+      for (;;) {
+        size_t s;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&] {
+            return !first_error.ok() || next_admit >= num_shards ||
+                   next_admit - next_retire < window;
+          });
+          if (!first_error.ok() || next_admit >= num_shards) return;
+          s = next_admit++;
+          // Admission charge: a row-count estimate, swapped for the measured
+          // footprint at completion.
+          charged[s] = prepared.shard_rows[s] * sizeof(ShardRow) + 64;
+          resident_bytes += charged[s];
+          stats.peak_resident_bytes =
+              std::max(stats.peak_resident_bytes, resident_bytes);
+          stats.max_shards_in_flight =
+              std::max(stats.max_shards_in_flight, next_admit - next_retire);
+        }
+        StatusOr<ShardOutput> out = EmitShard(prepared, s, options, pool.get());
+        // A lost shard is regenerated in place from the plan — emission is a
+        // pure function of (plan, shard id), so the retry is byte-identical.
+        for (int attempt = 1;
+             !out.ok() && attempt < 3 &&
+             out.status().code() != StatusCode::kDeadlineExceeded &&
+             out.status().code() != StatusCode::kCancelled;
+             ++attempt) {
+          {
+            std::unique_lock<std::mutex> lock(mu);
+            ++stats.shard_regenerations;
+          }
+          out = EmitShard(prepared, s, options, pool.get());
+        }
+        std::unique_lock<std::mutex> lock(mu);
+        if (!out.ok()) {
+          if (first_error.ok()) first_error = out.status();
+          cv.notify_all();
+          return;
+        }
+        ShardOutput& done =
+            *(completed[s] =
+                  std::make_unique<ShardOutput>(std::move(out).value()));
+        resident_bytes += done.ApproxBytes();
+        resident_bytes -= charged[s];
+        charged[s] = done.ApproxBytes();
+        stats.peak_resident_bytes =
+            std::max(stats.peak_resident_bytes, resident_bytes);
+        // Retire every consecutive completed shard, strictly in shard order:
+        // renumber fresh keys, capture repair-target colors, hand the shard
+        // to the sink, release its memory.
+        while (next_retire < num_shards &&
+               completed[next_retire] != nullptr) {
+          ShardOutput& retire = *completed[next_retire];
+          ResolvedShard resolved = ResolveShard(prepared, retire, &next_key);
+          for (size_t b = 0; b < resolved.blocks.size(); ++b) {
+            if (!is_repair_partition[retire.blocks[b].partition]) continue;
+            for (ShardRow r : resolved.blocks[b].rows) {
+              repair_colors[r.row] = r.key;
+            }
+          }
+          stats.skipped_vertices += retire.skipped_vertices;
+          stats.naive_oracle_fallbacks += retire.naive_oracle_fallbacks;
+          stats.biclique_overflows += retire.biclique_overflows;
+          ++stats.shards_emitted;
+          Status consumed = sink->Consume(resolved);
+          resident_bytes -= charged[next_retire];
+          completed[next_retire].reset();
+          ++next_retire;
+          if (!consumed.ok()) {
+            if (first_error.ok()) first_error = std::move(consumed);
+            break;
+          }
+        }
+        cv.notify_all();
+      }
+    };
+    if (workers == 1) {
+      worker();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (size_t i = 0; i < workers; ++i) threads.emplace_back(worker);
+      for (std::thread& t : threads) t.join();
+    }
+  }
+  if (!first_error.ok()) return first_error;
+  CEXTEND_CHECK(next_retire == num_shards);
+
+  // ---- solveInvalidTuples pass 2, retired as the final shard. ----
+  // Runs serially after every partition shard (its fresh keys extend the
+  // global sequence); per touched combo, probe candidate keys for each
+  // repaired row against the current same-key bucket. The conflict source is
+  // the retained-colors reuse path (probes evaluate the DCs directly — the
+  // repaired rows are vertices no coloring oracle ever saw), a freshly built
+  // per-combo oracle, or direct scans when a rebuild trips a resource cap.
+  // All three answer the identical question, so the chosen keys are
+  // bit-identical across them (equivalence-tested).
+  {
+    ScopedTimer timer(&stats.invalid_seconds);
+    ResolvedShard repair;
+    repair.shard_id = num_shards;
+    ResolvedShard::Block block;
+    block.worklist_idx = ResolvedShard::kRepairBlock;
+    if (!prepared.repair_groups.empty()) {
+      const Table& v_join = *prepared.v_join;
+      ConflictOracleOptions repair_oracle_options;
+      repair_oracle_options.force_naive = options.use_naive_oracle;
+      repair_oracle_options.pool = pool.get();
+      repair_oracle_options.run_control = options.run_control;
+      if (options.max_hyperedge_candidates > 0) {
+        repair_oracle_options.max_hyperedge_candidates =
+            options.max_hyperedge_candidates;
+      }
+      for (const auto& [combo_id, group] : prepared.repair_groups) {
+        CEXTEND_RETURN_IF_ERROR(options.run_control.Check());
+        const std::vector<int64_t>& combo =
+            prepared.combos.combo_codes(combo_id);
+        std::vector<uint32_t> oracle_rows;
+        bool partition_exists = false;
+        auto pit = prepared.partition_index.find(combo);
+        if (pit != prepared.partition_index.end()) {
+          oracle_rows = prepared.partitions[pit->second].rows;
+          partition_exists = true;
+        }
+        size_t num_colored = oracle_rows.size();
+        oracle_rows.insert(oracle_rows.end(), group.begin(), group.end());
+        // Reuse rung: the combo's partition was colored, so its resolved
+        // colors are retained and no per-combo oracle rebuild is needed
+        // (random assignment never built one, so it always rebuilds).
+        bool use_cached = partition_exists && options.reuse_repair_oracles &&
+                          !options.random_assignment;
+        if (use_cached) {
+          // Invalidation: repair's B-cell writes only ever touched invalid
+          // rows (in the planner), and partitions never contain invalid
+          // rows; the check is the protocol's safety net should that
+          // invariant ever move.
+          for (size_t v = 0; v < num_colored; ++v) {
+            if (prepared.is_invalid[oracle_rows[v]]) {
+              use_cached = false;
+              ++stats.repair_oracle_invalidations;
+              break;
+            }
+          }
+        }
+        std::unique_ptr<PartitionOracle> rebuilt;
+        if (use_cached) {
+          ++stats.repair_oracle_cache_hits;
+        } else if (CEXTEND_INJECT_FAULT("phase2.repair_oracle")) {
+          // Simulated rebuild resource exhaustion: the group degrades to
+          // direct ScanWouldViolate probes (oracle-probe→scan-probe rung).
+          ++stats.scan_probe_repairs;
+        } else {
+          BuildOracleInfo build_info;
+          auto oracle_or =
+              BuildPartitionOracle(v_join, prepared.bound_dcs, oracle_rows,
+                                   repair_oracle_options, &build_info);
+          if (!oracle_or.ok() &&
+              oracle_or.status().code() != StatusCode::kResourceExhausted) {
+            return oracle_or.status();
+          }
+          if (oracle_or.ok()) {
+            rebuilt = std::move(oracle_or).value();
+            ++stats.repair_oracles;
+            ++stats.repair_oracle_rebuilds;
+            if (build_info.naive_fallback) ++stats.naive_oracle_fallbacks;
+            stats.biclique_overflows += build_info.biclique_overflows;
+          } else {
+            ++stats.scan_probe_repairs;
+          }
+        }
+        // Same-key buckets as local vertex ids.
+        std::unordered_map<int64_t, std::vector<size_t>> bucket;
+        for (size_t v = 0; v < num_colored; ++v) {
+          bucket[repair_colors.at(oracle_rows[v])].push_back(v);
+        }
+        for (size_t g = 0; g < group.size(); ++g) {
+          size_t local = num_colored + g;
+          uint32_t row = group[g];
+          int64_t chosen = kNoColor;
+          for (int64_t key : prepared.combos.keys(combo_id)) {
+            auto it = bucket.find(key);
+            bool ok =
+                it == bucket.end() ||
+                (rebuilt != nullptr
+                     ? !rebuilt->WouldViolate(local, it->second)
+                     : !ScanWouldViolate(v_join, prepared.bound_dcs, row,
+                                         it->second, oracle_rows));
+            if (ok) {
+              chosen = key;
+              break;
+            }
+          }
+          if (chosen == kNoColor) {
+            chosen = next_key++;
+            block.new_tuples.push_back(ResolvedShard::NewTuple{chosen, combo});
+          }
+          block.rows.push_back(ShardRow{row, chosen});
+          bucket[chosen].push_back(local);
+        }
+      }
+    }
+    repair.blocks.push_back(std::move(block));
+    CEXTEND_RETURN_IF_ERROR(sink->Consume(repair));
+  }
+  stats.new_r2_tuples = static_cast<size_t>(next_key - prepared.fresh_base);
+  CEXTEND_RETURN_IF_ERROR(sink->Finish());
+  return stats;
+}
+
+}  // namespace cextend

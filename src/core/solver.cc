@@ -1,14 +1,30 @@
 #include "core/solver.h"
 
+#include <utility>
+
+#include "core/shard_executor.h"
 #include "util/timer.h"
 
 namespace cextend {
+namespace {
 
-StatusOr<Solution> SolveCExtension(const Table& r1, const Table& r2,
-                                   const PairSchema& names,
-                                   const std::vector<CardinalityConstraint>& ccs,
-                                   const std::vector<DenialConstraint>& dcs,
-                                   const SolverOptions& options) {
+/// Seed/run_control defaulting shared by both stages, so planning and
+/// execution derive identical effective options from one SolverOptions.
+Phase2Options EffectivePhase2Options(const SolverOptions& options) {
+  Phase2Options phase2 = options.phase2;
+  if (phase2.seed == 1) phase2.seed = options.seed;
+  if (!phase2.run_control.CanInterrupt()) {
+    phase2.run_control = options.run_control;
+  }
+  return phase2;
+}
+
+}  // namespace
+
+StatusOr<PlannedCExtension> PlanCExtension(
+    const Table& r1, const Table& r2, const PairSchema& names,
+    const std::vector<CardinalityConstraint>& ccs,
+    const std::vector<DenialConstraint>& dcs, const SolverOptions& options) {
   Stopwatch total_watch;
   CEXTEND_RETURN_IF_ERROR(names.Validate(r1, r2));
   CEXTEND_RETURN_IF_ERROR(options.run_control.Check());
@@ -30,36 +46,82 @@ StatusOr<Solution> SolveCExtension(const Table& r1, const Table& r2,
   stats.phase1_seconds = phase1_watch.ElapsedSeconds();
   stats.invalid_tuples = phase1.invalid_rows.size();
 
-  // Phase II: impute FK values via conflict-hypergraph coloring.
-  Stopwatch phase2_watch;
-  Phase2Options phase2_options = options.phase2;
-  if (phase2_options.seed == 1) phase2_options.seed = options.seed;
-  if (!phase2_options.run_control.CanInterrupt()) {
-    phase2_options.run_control = options.run_control;
-  }
-  CEXTEND_ASSIGN_OR_RETURN(
-      Phase2Result phase2,
-      RunPhase2(v_join, r1, r2, names, dcs, ccs, phase1.invalid_rows,
-                phase2_options));
-  stats.phase2 = phase2.stats;
-  stats.phase2_seconds = phase2_watch.ElapsedSeconds();
-
-  // Record the degradation ladder: rungs entered under pressure (from the
-  // sub-phase stats) plus rungs forced through options.
-  stats.ladder.naive_oracle_fallbacks = phase2.stats.naive_oracle_fallbacks;
-  stats.ladder.biclique_overflows = phase2.stats.biclique_overflows;
+  // Phase-1 ladder rungs (entered under pressure or forced via options);
+  // phase-2 rungs are recorded at execution.
   stats.ladder.cold_solve_fallbacks =
       static_cast<size_t>(stats.phase1.ilp.cold_fallbacks);
-  stats.ladder.scan_probe_repairs = phase2.stats.scan_probe_repairs;
-  stats.ladder.forced_naive_oracle = phase2_options.use_naive_oracle;
   stats.ladder.forced_dense_tableau =
       phase1_options.ilp.ilp.simplex.use_dense_tableau;
   stats.ladder.forced_cold_solves = !phase1_options.ilp.ilp.warm_start;
   stats.ladder.forced_monolithic_ilp = !phase1_options.ilp.decompose;
+
+  // Freeze the synthesis plan: repair combo selection (writes the invalid
+  // rows' B cells), combo layout, shard map. Phase 1's combo index is
+  // reused for the selection pass.
+  Stopwatch plan_watch;
+  Phase2Options phase2_options = EffectivePhase2Options(options);
+  SynthesisPlanOptions plan_options;
+  plan_options.seed = phase2_options.seed;
+  plan_options.num_shards = phase2_options.num_shards;
+  plan_options.num_threads_hint = phase2_options.num_threads;
+  PlanBuildTimings timings;
+  CEXTEND_ASSIGN_OR_RETURN(
+      SynthesisPlan plan,
+      BuildSynthesisPlan(v_join, r2, names, ccs, phase1.invalid_rows,
+                         plan_options, &phase1.combos, &timings));
+  stats.phase2.partition_seconds += timings.layout_seconds;
+  stats.phase2.invalid_seconds += timings.selection_seconds;
   stats.total_seconds = total_watch.ElapsedSeconds();
 
-  return Solution{std::move(phase2.r1_hat), std::move(phase2.r2_hat),
-                  std::move(v_join), stats};
+  return PlannedCExtension{std::move(plan), std::move(v_join), stats,
+                           plan_watch.ElapsedSeconds()};
+}
+
+StatusOr<Solution> ExecuteCExtensionPlan(
+    PlannedCExtension&& planned, const Table& r1, const Table& r2,
+    const PairSchema& names, const std::vector<DenialConstraint>& dcs,
+    const SolverOptions& options, RowSink* tee) {
+  Stopwatch total_watch;
+  SolveStats stats = planned.stats;
+  Phase2Options phase2_options = EffectivePhase2Options(options);
+
+  Stopwatch phase2_watch;
+  CEXTEND_ASSIGN_OR_RETURN(
+      PreparedPlan prepared,
+      PreparePlan(planned.plan, planned.v_join, r2, names, dcs));
+  TableSink table_sink(r1, r2, names);
+  TeeSink tee_sink(&table_sink, tee);
+  RowSink* sink = tee != nullptr ? static_cast<RowSink*>(&tee_sink)
+                                 : static_cast<RowSink*>(&table_sink);
+  CEXTEND_ASSIGN_OR_RETURN(Phase2Stats phase2_stats,
+                           ExecutePlan(prepared, phase2_options, sink));
+  phase2_stats.partition_seconds += stats.phase2.partition_seconds;
+  phase2_stats.invalid_seconds += stats.phase2.invalid_seconds;
+  stats.phase2 = phase2_stats;
+  stats.phase2_seconds = planned.plan_build_seconds +
+                         phase2_watch.ElapsedSeconds();
+
+  stats.ladder.naive_oracle_fallbacks = phase2_stats.naive_oracle_fallbacks;
+  stats.ladder.biclique_overflows = phase2_stats.biclique_overflows;
+  stats.ladder.scan_probe_repairs = phase2_stats.scan_probe_repairs;
+  stats.ladder.shard_regenerations = phase2_stats.shard_regenerations;
+  stats.ladder.forced_naive_oracle = phase2_options.use_naive_oracle;
+  stats.total_seconds += total_watch.ElapsedSeconds();
+
+  return Solution{std::move(table_sink.r1_hat()),
+                  std::move(table_sink.r2_hat()), std::move(planned.v_join),
+                  stats};
+}
+
+StatusOr<Solution> SolveCExtension(const Table& r1, const Table& r2,
+                                   const PairSchema& names,
+                                   const std::vector<CardinalityConstraint>& ccs,
+                                   const std::vector<DenialConstraint>& dcs,
+                                   const SolverOptions& options) {
+  CEXTEND_ASSIGN_OR_RETURN(PlannedCExtension planned,
+                           PlanCExtension(r1, r2, names, ccs, dcs, options));
+  return ExecuteCExtensionPlan(std::move(planned), r1, r2, names, dcs,
+                               options);
 }
 
 }  // namespace cextend

@@ -13,12 +13,15 @@
 #include "core/hybrid.h"
 #include "core/join_view.h"
 #include "core/phase2.h"
+#include "core/plan.h"
 #include "core/stats.h"
 #include "relational/table.h"
 #include "util/deadline.h"
 #include "util/statusor.h"
 
 namespace cextend {
+
+class RowSink;
 
 struct SolverOptions {
   HybridOptions phase1;
@@ -39,8 +42,42 @@ struct Solution {
   SolveStats stats;
 };
 
+/// Output of the planning stage: the serializable SynthesisPlan, the
+/// completed join view (phase-1 fills + repair combo selections written into
+/// its B cells), and the phase-1 portion of the run statistics. Hand it to
+/// ExecuteCExtensionPlan — with the *same* SolverOptions — to stream the
+/// synthesized database out.
+struct PlannedCExtension {
+  SynthesisPlan plan;
+  Table v_join;
+  SolveStats stats;            ///< phase-1 + planning portion
+  double plan_build_seconds;   ///< folded into phase2_seconds at execution
+};
+
+/// Stage 1 of the plan-then-stream split (see src/core/README.md "Streaming
+/// & sharding"): binning + phase-1 fills + repair combo selection, frozen
+/// into a SynthesisPlan. Runs no coloring and allocates no output tables.
+StatusOr<PlannedCExtension> PlanCExtension(
+    const Table& r1, const Table& r2, const PairSchema& names,
+    const std::vector<CardinalityConstraint>& ccs,
+    const std::vector<DenialConstraint>& dcs,
+    const SolverOptions& options = {});
+
+/// Stage 2: streams phase 2 out of the plan through the bounded-memory shard
+/// executor, collecting the result tables. `planned` is consumed (its join
+/// view moves into the Solution). `tee`, when non-null, additionally
+/// receives every retired shard (the CLI's streaming file sink); it must
+/// outlive the call. Pass the same `options` as to PlanCExtension — seed and
+/// shard geometry come from the plan, but oracle/thread/admission knobs are
+/// read here.
+StatusOr<Solution> ExecuteCExtensionPlan(
+    PlannedCExtension&& planned, const Table& r1, const Table& r2,
+    const PairSchema& names, const std::vector<DenialConstraint>& dcs,
+    const SolverOptions& options = {}, RowSink* tee = nullptr);
+
 /// Solves C-Extension for the linked pair. `r1.fk` cells are ignored (they
-/// are being synthesized); all other inputs are read-only.
+/// are being synthesized); all other inputs are read-only. Equivalent to
+/// PlanCExtension + ExecuteCExtensionPlan with an in-memory sink.
 StatusOr<Solution> SolveCExtension(const Table& r1, const Table& r2,
                                    const PairSchema& names,
                                    const std::vector<CardinalityConstraint>& ccs,

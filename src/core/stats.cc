@@ -34,12 +34,16 @@ std::string SolveStats::Summary() const {
       phase1.ccs_to_ilp, invalid_tuples, phase2.new_r2_tuples,
       phase2.skipped_vertices, phase2.repair_oracle_cache_hits,
       phase2.repair_oracle_rebuilds, phase2.repair_oracle_invalidations);
+  out += StrFormat(" mem(peak_resident=%zuB shards=%zu inflight_hwm=%zu)",
+                   phase2.peak_resident_bytes, phase2.shards_emitted,
+                   phase2.max_shards_in_flight);
   if (ladder.AnyDegradation()) {
     out += StrFormat(
         " ladder(naive=%zu biclique_overflow=%zu cold=%zu scan_probe=%zu"
-        "%s%s%s%s)",
+        " shard_regen=%zu%s%s%s%s)",
         ladder.naive_oracle_fallbacks, ladder.biclique_overflows,
         ladder.cold_solve_fallbacks, ladder.scan_probe_repairs,
+        ladder.shard_regenerations,
         ladder.forced_naive_oracle ? " forced:naive" : "",
         ladder.forced_dense_tableau ? " forced:dense" : "",
         ladder.forced_cold_solves ? " forced:cold" : "",

@@ -31,6 +31,9 @@ struct DegradationLadder {
   /// Repair combo groups probed by direct DC scans because the per-combo
   /// oracle rebuild exceeded a resource cap (oracle-probe→scan-probe).
   size_t scan_probe_repairs = 0;
+  /// Shard emissions that failed and were regenerated in place from the
+  /// plan (lost-shard→re-emit; regeneration is byte-identical).
+  size_t shard_regenerations = 0;
   /// Configured rungs, forced via options rather than entered under
   /// pressure (the CLI retry loop sets these on later attempts):
   bool forced_naive_oracle = false;    ///< Phase2Options::use_naive_oracle
@@ -42,8 +45,8 @@ struct DegradationLadder {
   bool AnyDegradation() const {
     return naive_oracle_fallbacks > 0 || biclique_overflows > 0 ||
            cold_solve_fallbacks > 0 || scan_probe_repairs > 0 ||
-           forced_naive_oracle || forced_dense_tableau || forced_cold_solves ||
-           forced_monolithic_ilp;
+           shard_regenerations > 0 || forced_naive_oracle ||
+           forced_dense_tableau || forced_cold_solves || forced_monolithic_ilp;
   }
 };
 

@@ -27,6 +27,7 @@
 //   dual.warm_start       warm dual-simplex solve in B&B
 //   phase2.repair_oracle  per-combo repair-oracle rebuild
 //   pool.alloc            conflict-entry pool charge
+//   shard.emit            shard emission (executor regenerates from plan)
 
 #ifndef CEXTEND_UTIL_FAULT_INJECTION_H_
 #define CEXTEND_UTIL_FAULT_INJECTION_H_

@@ -8,6 +8,7 @@
 //               [--out-r1=r1_hat.csv] [--out-r2=r2_hat.csv]
 //               [--out-join=v_join.csv] [--seed=N] [--threads=N]
 //               [--timeout-ms=N] [--max-attempts=N]
+//               [--stream-out=PATH] [--shards=N] [--max-resident-shards=K]
 //               [--method=hybrid|baseline|baseline-marginals]
 //
 // --timeout-ms bounds each solve attempt with a monotonic deadline (expiry
@@ -15,6 +16,13 @@
 // down a degradation ladder (naive oracle, cold solves, dense tableau,
 // monolithic ILP — cumulative), up to --max-attempts attempts; every rung
 // yields the same database for a fixed seed.
+//
+// --stream-out streams phase 2 to PATH as shards retire from the
+// bounded-memory executor (format: src/core/shard_executor.h), instead of
+// only materializing tables at the end; --shards / --max-resident-shards
+// pick the shard count and admission window (0 = auto / unbounded). The
+// stream bytes are identical for any shard geometry and thread count. A
+// retried attempt truncates the file and restarts the stream cleanly.
 //
 // The spec file holds one constraint per line (see constraints/parser.h):
 //     cc chicago_owners: COUNT(Rel = "Owner" & Area = "Chicago") = 4
@@ -30,6 +38,7 @@
 #include "constraints/metrics.h"
 #include "constraints/parser.h"
 #include "core/baseline.h"
+#include "core/shard_executor.h"
 #include "core/solver.h"
 #include "relational/csv.h"
 #include "util/string_util.h"
@@ -46,8 +55,11 @@ struct CliArgs {
   std::string out_r2 = "r2_hat.csv";
   std::string out_join;
   std::string method = "hybrid";
+  std::string stream_out;        // empty = no streaming sink
   uint64_t seed = 1;
   size_t threads = 1;
+  size_t shards = 0;             // 0 = auto
+  size_t max_resident_shards = 0;  // 0 = unbounded
   int64_t timeout_ms = 0;  // 0 = no deadline
   size_t max_attempts = 5; // 1 = no degradation retries
 };
@@ -68,6 +80,8 @@ SolverOptions OptionsForAttempt(const CliArgs& args, size_t rung) {
   SolverOptions options;
   options.seed = args.seed;
   options.phase2.num_threads = args.threads;
+  options.phase2.num_shards = args.shards;
+  options.phase2.max_resident_shards = args.max_resident_shards;
   if (rung >= 1) options.phase2.use_naive_oracle = true;
   if (rung >= 2) options.phase1.ilp.ilp.warm_start = false;
   if (rung >= 3) options.phase1.ilp.ilp.simplex.use_dense_tableau = true;
@@ -125,6 +139,8 @@ int Usage(const char* argv0) {
       "          [--out-r1=CSV] [--out-r2=CSV] [--out-join=CSV] \\\n"
       "          [--seed=N] [--threads=N] [--timeout-ms=N] "
       "[--max-attempts=N] \\\n"
+      "          [--stream-out=PATH] [--shards=N] "
+      "[--max-resident-shards=K] \\\n"
       "          [--method=hybrid|baseline|baseline-marginals]\n",
       argv0);
   return 2;
@@ -158,6 +174,11 @@ Status Run(const CliArgs& args) {
       args.method != "baseline-marginals") {
     return Status::InvalidArgument("unknown method: " + args.method);
   }
+  if (!args.stream_out.empty() && args.method != "hybrid") {
+    return Status::InvalidArgument(
+        "--stream-out requires --method=hybrid (baselines have no "
+        "plan/execute split)");
+  }
   size_t max_attempts = std::min(std::max<size_t>(args.max_attempts, 1),
                                  kNumRungs);
   StatusOr<Solution> solution = Status::Internal("unset");
@@ -168,7 +189,26 @@ Status Run(const CliArgs& args) {
                    kRungLabels[rung], rung + 1, max_attempts);
     }
     if (args.method == "hybrid") {
-      solution = SolveCExtension(r1, r2, names, spec.ccs, spec.dcs, options);
+      if (args.stream_out.empty()) {
+        solution = SolveCExtension(r1, r2, names, spec.ccs, spec.dcs, options);
+      } else {
+        // Streaming mode: plan, then tee every retired shard to the file.
+        // Each attempt truncates and restarts the stream, so a degraded
+        // retry leaves a clean, complete stream rather than a torn one.
+        solution = [&]() -> StatusOr<Solution> {
+          std::ofstream stream(args.stream_out,
+                               std::ios::binary | std::ios::trunc);
+          if (!stream) {
+            return Status::InvalidArgument("cannot open " + args.stream_out);
+          }
+          CEXTEND_ASSIGN_OR_RETURN(
+              PlannedCExtension planned,
+              PlanCExtension(r1, r2, names, spec.ccs, spec.dcs, options));
+          TextStreamSink sink(stream);
+          return ExecuteCExtensionPlan(std::move(planned), r1, r2, names,
+                                       spec.dcs, options, &sink);
+        }();
+      }
     } else if (args.method == "baseline") {
       solution = SolveBaseline(r1, r2, names, spec.ccs, spec.dcs,
                                BaselineKind::kPlain, options);
@@ -199,6 +239,12 @@ Status Run(const CliArgs& args) {
   std::printf("new R2 tuples: %zu\n",
               solution->stats.phase2.new_r2_tuples);
   std::printf("%s", solution->stats.BreakdownTable().c_str());
+  if (!args.stream_out.empty()) {
+    std::printf("streamed %zu shards to %s (%s)\n",
+                solution->stats.phase2.shards_emitted,
+                args.stream_out.c_str(),
+                solution->stats.Summary().c_str());
+  }
 
   CEXTEND_RETURN_IF_ERROR(WriteCsv(solution->r1_hat, args.out_r1));
   CEXTEND_RETURN_IF_ERROR(WriteCsv(solution->r2_hat, args.out_r2));
@@ -233,8 +279,11 @@ int main(int argc, char** argv) {
     else if (const char* v = value("--out-r2=")) args.out_r2 = v;
     else if (const char* v = value("--out-join=")) args.out_join = v;
     else if (const char* v = value("--method=")) args.method = v;
+    else if (const char* v = value("--stream-out=")) args.stream_out = v;
     else if (const char* v = value("--seed=")) args.seed = strtoull(v, nullptr, 10);
     else if (const char* v = value("--threads=")) args.threads = strtoull(v, nullptr, 10);
+    else if (const char* v = value("--shards=")) args.shards = strtoull(v, nullptr, 10);
+    else if (const char* v = value("--max-resident-shards=")) args.max_resident_shards = strtoull(v, nullptr, 10);
     else if (const char* v = value("--timeout-ms=")) args.timeout_ms = strtoll(v, nullptr, 10);
     else if (const char* v = value("--max-attempts=")) args.max_attempts = strtoull(v, nullptr, 10);
     else return cextend::Usage(argv[0]);
