@@ -100,6 +100,8 @@ StatusOr<DcErrorReport> EvaluateDcError(
   }
 
   std::vector<uint8_t> violating(r1.NumRows(), 0);
+  // cextend-lint: unordered-iteration-ok(commutative accumulation into
+  // counters and per-row flags; no group-order dependence)
   for (const auto& [fk, rows] : groups) {
     for (const BoundDenialConstraint& dc : bound) {
       size_t k = static_cast<size_t>(dc.arity());

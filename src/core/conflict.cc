@@ -248,6 +248,8 @@ class ProbeStamp {
   bool Contains(size_t u) const { return stamp_[u] == epoch_; }
 
   static ProbeStamp& ThreadLocal() {
+    // cextend-lint: static-state-ok(per-thread probe scratch; epoch-stamped
+    // and reset on every probe, never observable in results)
     thread_local ProbeStamp stamp;
     return stamp;
   }

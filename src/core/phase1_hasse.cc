@@ -240,8 +240,12 @@ StatusOr<std::vector<uint32_t>> CompleteLeftoverRows(
       std::unordered_set<int64_t> domain;
       for (size_t i = 0; i < combos.num_combos(); ++i)
         domain.insert(combos.combo_codes(i)[col]);
+      // Sorted drain: the first unused value is taken below, so hash order
+      // would leak into the synthesized combo (platform-dependent output).
+      std::vector<int64_t> domain_sorted(domain.begin(), domain.end());
+      std::sort(domain_sorted.begin(), domain_sorted.end());
       int64_t chosen = kNullCode;
-      for (int64_t v : domain) {
+      for (int64_t v : domain_sorted) {
         bool used = false;
         for (size_t c = 0; c < num_ccs && !used; ++c) {
           auto it = cc_sets[c].find(col_name);

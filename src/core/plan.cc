@@ -5,6 +5,7 @@
 
 #include "core/fill_state.h"
 #include "util/logging.h"
+#include "util/sanitize.h"
 #include "util/timer.h"
 
 namespace cextend {
@@ -72,6 +73,7 @@ class Reader {
 constexpr char kMagic[4] = {'C', 'X', 'P', 'L'};
 constexpr uint32_t kVersion = 1;
 
+CEXTEND_NO_SANITIZE_INTEGER
 uint64_t SplitMix64(uint64_t x) {
   x += 0x9E3779B97F4A7C15ULL;
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <thread>
 #include <unordered_map>
@@ -13,6 +12,7 @@
 #include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -70,6 +70,25 @@ void PutU64(std::string* out, uint64_t v) {
 }
 
 void PutI64(std::string* out, int64_t v) { PutU64(out, static_cast<uint64_t>(v)); }
+
+/// Shared state of the bounded-memory emission loop. One mutex guards the
+/// admission window (next_admit/next_retire and the derived in-flight HWM),
+/// the resident-byte accounting, the completed-shard buffer, and the ordered
+/// retirement through the sink; the thread-safety analysis enforces that no
+/// worker touches any of it without holding `mu`.
+struct ExecState {
+  Mutex mu;
+  std::condition_variable cv;
+  size_t next_admit GUARDED_BY(mu) = 0;
+  size_t next_retire GUARDED_BY(mu) = 0;
+  size_t resident_bytes GUARDED_BY(mu) = 0;
+  int64_t next_key GUARDED_BY(mu) = 0;
+  std::vector<size_t> charged GUARDED_BY(mu);
+  std::vector<std::unique_ptr<ShardOutput>> completed GUARDED_BY(mu);
+  std::unordered_map<uint32_t, int64_t> repair_colors GUARDED_BY(mu);
+  Phase2Stats stats GUARDED_BY(mu);
+  Status first_error GUARDED_BY(mu);
+};
 
 /// Renumbers a completed shard's provisional fresh keys into the global key
 /// sequence starting at `*next_key` and mints the new R2 tuples. Provisional
@@ -340,9 +359,6 @@ StatusOr<Phase2Stats> ExecutePlan(const PreparedPlan& prepared,
                                   const Phase2Options& options, RowSink* sink) {
   const SynthesisPlan& plan = *prepared.plan;
   const size_t num_shards = plan.num_shards();
-  Phase2Stats stats;
-  stats.num_partitions = prepared.partitions.size();
-  stats.invalid_rows = plan.invalid_rows.size();
   CEXTEND_RETURN_IF_ERROR(sink->Begin(prepared));
 
   std::unique_ptr<ThreadPool> pool;
@@ -362,7 +378,6 @@ StatusOr<Phase2Stats> ExecutePlan(const PreparedPlan& prepared,
       is_repair_partition[it->second] = 1;
     }
   }
-  std::unordered_map<uint32_t, int64_t> repair_colors;
 
   const size_t window = options.max_resident_shards == 0
                             ? std::max<size_t>(1, num_shards)
@@ -371,37 +386,38 @@ StatusOr<Phase2Stats> ExecutePlan(const PreparedPlan& prepared,
       1, std::min({std::max<size_t>(1, options.num_threads), num_shards,
                    window}));
 
-  int64_t next_key = prepared.fresh_base;
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t next_admit = 0;
-  size_t next_retire = 0;
-  size_t resident_bytes = 0;
-  std::vector<size_t> charged(num_shards, 0);
-  std::vector<std::unique_ptr<ShardOutput>> completed(num_shards);
-  Status first_error = Status::Ok();
-
+  ExecState st;
   {
-    ScopedTimer timer(&stats.coloring_seconds);
+    MutexLock lock(st.mu);
+    st.next_key = prepared.fresh_base;
+    st.charged.assign(num_shards, 0);
+    st.completed.resize(num_shards);
+    st.stats.num_partitions = prepared.partitions.size();
+    st.stats.invalid_rows = plan.invalid_rows.size();
+  }
+
+  double coloring_seconds = 0.0;
+  {
+    ScopedTimer timer(&coloring_seconds);
     auto worker = [&]() {
       for (;;) {
         size_t s;
         {
-          std::unique_lock<std::mutex> lock(mu);
-          cv.wait(lock, [&] {
-            return !first_error.ok() || next_admit >= num_shards ||
-                   next_admit - next_retire < window;
-          });
-          if (!first_error.ok() || next_admit >= num_shards) return;
-          s = next_admit++;
+          MutexLock lock(st.mu);
+          while (st.first_error.ok() && st.next_admit < num_shards &&
+                 st.next_admit - st.next_retire >= window) {
+            lock.Wait(st.cv);
+          }
+          if (!st.first_error.ok() || st.next_admit >= num_shards) return;
+          s = st.next_admit++;
           // Admission charge: a row-count estimate, swapped for the measured
           // footprint at completion.
-          charged[s] = prepared.shard_rows[s] * sizeof(ShardRow) + 64;
-          resident_bytes += charged[s];
-          stats.peak_resident_bytes =
-              std::max(stats.peak_resident_bytes, resident_bytes);
-          stats.max_shards_in_flight =
-              std::max(stats.max_shards_in_flight, next_admit - next_retire);
+          st.charged[s] = prepared.shard_rows[s] * sizeof(ShardRow) + 64;
+          st.resident_bytes += st.charged[s];
+          st.stats.peak_resident_bytes =
+              std::max(st.stats.peak_resident_bytes, st.resident_bytes);
+          st.stats.max_shards_in_flight = std::max(
+              st.stats.max_shards_in_flight, st.next_admit - st.next_retire);
         }
         StatusOr<ShardOutput> out = EmitShard(prepared, s, options, pool.get());
         // A lost shard is regenerated in place from the plan — emission is a
@@ -412,52 +428,54 @@ StatusOr<Phase2Stats> ExecutePlan(const PreparedPlan& prepared,
              out.status().code() != StatusCode::kCancelled;
              ++attempt) {
           {
-            std::unique_lock<std::mutex> lock(mu);
-            ++stats.shard_regenerations;
+            MutexLock lock(st.mu);
+            ++st.stats.shard_regenerations;
           }
           out = EmitShard(prepared, s, options, pool.get());
         }
-        std::unique_lock<std::mutex> lock(mu);
+        MutexLock lock(st.mu);
         if (!out.ok()) {
-          if (first_error.ok()) first_error = out.status();
-          cv.notify_all();
+          if (st.first_error.ok()) st.first_error = out.status();
+          st.cv.notify_all();
           return;
         }
         ShardOutput& done =
-            *(completed[s] =
+            *(st.completed[s] =
                   std::make_unique<ShardOutput>(std::move(out).value()));
-        resident_bytes += done.ApproxBytes();
-        resident_bytes -= charged[s];
-        charged[s] = done.ApproxBytes();
-        stats.peak_resident_bytes =
-            std::max(stats.peak_resident_bytes, resident_bytes);
+        st.resident_bytes += done.ApproxBytes();
+        st.resident_bytes -= st.charged[s];
+        st.charged[s] = done.ApproxBytes();
+        st.stats.peak_resident_bytes =
+            std::max(st.stats.peak_resident_bytes, st.resident_bytes);
         // Retire every consecutive completed shard, strictly in shard order:
         // renumber fresh keys, capture repair-target colors, hand the shard
-        // to the sink, release its memory.
-        while (next_retire < num_shards &&
-               completed[next_retire] != nullptr) {
-          ShardOutput& retire = *completed[next_retire];
-          ResolvedShard resolved = ResolveShard(prepared, retire, &next_key);
+        // to the sink, release its memory. Retirement happens with `mu`
+        // held, which is what serializes sink->Consume calls.
+        while (st.next_retire < num_shards &&
+               st.completed[st.next_retire] != nullptr) {
+          ShardOutput& retire = *st.completed[st.next_retire];
+          ResolvedShard resolved =
+              ResolveShard(prepared, retire, &st.next_key);
           for (size_t b = 0; b < resolved.blocks.size(); ++b) {
             if (!is_repair_partition[retire.blocks[b].partition]) continue;
             for (ShardRow r : resolved.blocks[b].rows) {
-              repair_colors[r.row] = r.key;
+              st.repair_colors[r.row] = r.key;
             }
           }
-          stats.skipped_vertices += retire.skipped_vertices;
-          stats.naive_oracle_fallbacks += retire.naive_oracle_fallbacks;
-          stats.biclique_overflows += retire.biclique_overflows;
-          ++stats.shards_emitted;
+          st.stats.skipped_vertices += retire.skipped_vertices;
+          st.stats.naive_oracle_fallbacks += retire.naive_oracle_fallbacks;
+          st.stats.biclique_overflows += retire.biclique_overflows;
+          ++st.stats.shards_emitted;
           Status consumed = sink->Consume(resolved);
-          resident_bytes -= charged[next_retire];
-          completed[next_retire].reset();
-          ++next_retire;
+          st.resident_bytes -= st.charged[st.next_retire];
+          st.completed[st.next_retire].reset();
+          ++st.next_retire;
           if (!consumed.ok()) {
-            if (first_error.ok()) first_error = std::move(consumed);
+            if (st.first_error.ok()) st.first_error = std::move(consumed);
             break;
           }
         }
-        cv.notify_all();
+        st.cv.notify_all();
       }
     };
     if (workers == 1) {
@@ -469,8 +487,22 @@ StatusOr<Phase2Stats> ExecutePlan(const PreparedPlan& prepared,
       for (std::thread& t : threads) t.join();
     }
   }
-  if (!first_error.ok()) return first_error;
-  CEXTEND_CHECK(next_retire == num_shards);
+
+  // Single-threaded from here on (workers joined); drain the guarded state
+  // into locals under a final lock so the repair pass below reads
+  // lock-free.
+  Phase2Stats stats;
+  std::unordered_map<uint32_t, int64_t> repair_colors;
+  int64_t next_key;
+  {
+    MutexLock lock(st.mu);
+    if (!st.first_error.ok()) return st.first_error;
+    CEXTEND_CHECK(st.next_retire == num_shards);
+    stats = std::move(st.stats);
+    repair_colors = std::move(st.repair_colors);
+    next_key = st.next_key;
+  }
+  stats.coloring_seconds = coloring_seconds;
 
   // ---- solveInvalidTuples pass 2, retired as the final shard. ----
   // Runs serially after every partition shard (its fresh keys extend the

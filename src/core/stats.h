@@ -1,5 +1,13 @@
 // Aggregated run statistics: the runtime breakdown reported in the paper's
 // Figures 11 and 13 plus solution-quality counters.
+//
+// Concurrency contract: these are plain value aggregates with no internal
+// synchronization. Worker threads never write a shared instance directly —
+// the shard executor accumulates its Phase2Stats under ExecState::mu
+// (GUARDED_BY; see src/core/shard_executor.cc) and the merged copy is read
+// only after the pool has joined. Keep it that way: if a new parallel stage
+// needs counters, either merge under an annotated Mutex or use per-thread
+// locals combined at the barrier.
 
 #ifndef CEXTEND_CORE_STATS_H_
 #define CEXTEND_CORE_STATS_H_

@@ -3,12 +3,16 @@
 #include <atomic>
 #include <cstdlib>
 #include <map>
-#include <mutex>
+
+#include "util/sanitize.h"
+#include "util/thread_annotations.h"
 
 namespace cextend {
 namespace {
 
-// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash.
+// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash. Wraparound is
+// intentional (util/sanitize.h).
+CEXTEND_NO_SANITIZE_INTEGER
 uint64_t Mix64(uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -16,6 +20,7 @@ uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+CEXTEND_NO_SANITIZE_INTEGER
 uint64_t HashSite(const std::string& site) {
   uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
   for (char c : site) {
@@ -37,9 +42,11 @@ struct FaultInjection::Impl {
     std::atomic<uint64_t> fired{0};
   };
 
-  mutable std::mutex mu;  // guards `sites` structure, not the counters
-  std::map<std::string, Site> sites;
-  uint64_t seed = 1;
+  mutable Mutex mu;
+  // `mu` guards the map *structure* and the seed; Site counters are atomic
+  // and are bumped after the lock is dropped (map entries are stable).
+  std::map<std::string, Site> sites GUARDED_BY(mu);
+  uint64_t seed GUARDED_BY(mu) = 1;
   std::atomic<bool> any_armed{false};
 };
 
@@ -60,7 +67,7 @@ FaultInjection::FaultInjection() : impl_(new Impl()) {
 }
 
 void FaultInjection::Configure(const std::string& spec, uint64_t seed) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->sites.clear();
   impl_->seed = seed;
   size_t pos = 0;
@@ -99,29 +106,31 @@ void FaultInjection::Reset() { Configure("", 1); }
 bool FaultInjection::ShouldFail(const char* site) {
   if (!impl_->any_armed.load(std::memory_order_acquire)) return false;
   Impl::Site* s = nullptr;
+  uint64_t seed;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     auto it = impl_->sites.find(site);
     if (it == impl_->sites.end()) return false;
     s = &it->second;
+    seed = impl_->seed;  // copied under the lock; Configure may race
   }
   // Map entries are stable; counters are atomic, so the lock can be dropped.
   uint64_t hit = s->hits.fetch_add(1, std::memory_order_relaxed);
   bool fire = s->threshold == UINT64_MAX ||
-              Mix64(impl_->seed ^ s->site_hash ^ hit) < s->threshold;
+              Mix64(seed ^ s->site_hash ^ hit) < s->threshold;
   if (fire) s->fired.fetch_add(1, std::memory_order_relaxed);
   return fire;
 }
 
 uint64_t FaultInjection::FiredCount(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   auto it = impl_->sites.find(site);
   if (it == impl_->sites.end()) return 0;
   return it->second.fired.load(std::memory_order_relaxed);
 }
 
 std::vector<std::string> FaultInjection::ArmedSites() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   std::vector<std::string> out;
   out.reserve(impl_->sites.size());
   for (const auto& kv : impl_->sites) out.push_back(kv.first);

@@ -7,10 +7,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/sanitize.h"
+
 namespace cextend {
 
 /// Folds `x` into the running hash `h` with the splitmix64 finalizer. Used
 /// for composite keys (B-combo vectors, cross-atom equality keys).
+/// Wraparound is the point of the mixer, hence the sanitizer suppression.
+CEXTEND_NO_SANITIZE_INTEGER
 inline uint64_t MixHash64(uint64_t h, uint64_t x) {
   uint64_t z = h ^ (x + 0x9E3779B97F4A7C15ULL);
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
@@ -20,6 +24,7 @@ inline uint64_t MixHash64(uint64_t h, uint64_t x) {
 
 /// Hash functor for code vectors (e.g. B-combos) in unordered containers.
 struct CodeVectorHash {
+  CEXTEND_NO_SANITIZE_INTEGER
   size_t operator()(const std::vector<int64_t>& v) const {
     uint64_t h = 0x9E3779B97F4A7C15ULL ^ v.size();
     for (int64_t x : v) h = MixHash64(h, static_cast<uint64_t>(x));

@@ -2,9 +2,14 @@
 
 #include <cmath>
 
+#include "util/sanitize.h"
+
 namespace cextend {
 namespace {
 
+// The splitmix/xoshiro mixers below depend on mod-2^64 wraparound; see
+// util/sanitize.h for why they are exempt from -fsanitize=integer.
+CEXTEND_NO_SANITIZE_INTEGER
 uint64_t SplitMix64(uint64_t& x) {
   x += 0x9E3779B97F4A7C15ULL;
   uint64_t z = x;
@@ -13,6 +18,7 @@ uint64_t SplitMix64(uint64_t& x) {
   return z ^ (z >> 31);
 }
 
+CEXTEND_NO_SANITIZE_INTEGER
 uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
@@ -24,6 +30,7 @@ void Rng::Reseed(uint64_t seed) {
   if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
 }
 
+CEXTEND_NO_SANITIZE_INTEGER
 uint64_t Rng::Next() {
   const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
   const uint64_t t = state_[1] << 17;
@@ -36,15 +43,21 @@ uint64_t Rng::Next() {
   return result;
 }
 
+CEXTEND_NO_SANITIZE_INTEGER
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
   CEXTEND_CHECK(lo <= hi) << "UniformInt(" << lo << "," << hi << ")";
-  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  // Subtract in uint64: `hi - lo` in int64 overflows for ranges wider than
+  // INT64_MAX (e.g. UniformInt(INT64_MIN, INT64_MAX)), and the +1 wraps to 0
+  // on purpose for the full 64-bit range.
+  uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
   if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
   // Rejection sampling to remove modulo bias.
   uint64_t limit = UINT64_MAX - UINT64_MAX % range;
   uint64_t r = Next();
   while (r >= limit) r = Next();
-  return lo + static_cast<int64_t>(r % range);
+  // Add in uint64 for the same reason: lo + offset can exceed INT64_MAX
+  // mid-computation even though the final value is always in [lo, hi].
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) + r % range);
 }
 
 double Rng::UniformDouble() {

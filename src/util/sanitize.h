@@ -1,0 +1,20 @@
+// Sanitizer suppression annotations.
+//
+// The UBSan CI leg builds with clang's `-fsanitize=integer`, whose
+// unsigned-overflow subgroup flags wraparound that is well-defined C++ but
+// almost always a bug in this codebase. The deliberate exceptions — hash
+// mixers and the xoshiro/splitmix RNG, whose correctness depends on mod-2^64
+// arithmetic — carry CEXTEND_NO_SANITIZE_INTEGER. Annotate the function whose
+// arithmetic wraps, not its callers: the attribute does not propagate into
+// callees.
+
+#ifndef CEXTEND_UTIL_SANITIZE_H_
+#define CEXTEND_UTIL_SANITIZE_H_
+
+#if defined(__clang__)
+#define CEXTEND_NO_SANITIZE_INTEGER __attribute__((no_sanitize("integer")))
+#else
+#define CEXTEND_NO_SANITIZE_INTEGER
+#endif
+
+#endif  // CEXTEND_UTIL_SANITIZE_H_

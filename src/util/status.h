@@ -32,7 +32,13 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// A success-or-error result. Cheap to copy when OK (no allocation).
-class Status {
+///
+/// `[[nodiscard]]`: silently dropping a Status is exactly how a failure path
+/// ships a partial result, so every call site must consume the return value
+/// (check it, propagate it, or cast to void with a reason). The project lint
+/// (tools/lint/cextend_lint.py, check S1) enforces the same rule on
+/// compilers that predate class-level nodiscard diagnostics.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -16,7 +16,7 @@ namespace cextend {
 /// result aborts the program (there are no exceptions in this library), so
 /// callers must check `ok()` first or use CEXTEND_ASSIGN_OR_RETURN.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit conversion from Status is intentional so `return SomeError();`
   /// works in functions returning StatusOr<T>.

@@ -1,6 +1,8 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <memory>
+#include <mutex>
 
 #include "util/logging.h"
 
@@ -16,7 +18,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   work_available_.notify_all();
@@ -25,7 +27,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     CEXTEND_CHECK(!shutdown_);
     queue_.push_back(std::move(task));
   }
@@ -33,17 +35,16 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WaitAll() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!(queue_.empty() && active_ == 0)) lock.Wait(all_idle_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) lock.Wait(work_available_);
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -54,7 +55,7 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
       if (queue_.empty() && active_ == 0) all_idle_.notify_all();
     }
@@ -79,7 +80,7 @@ void ParallelFor(ThreadPool* pool, size_t n,
     size_t n;
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    std::mutex mu;
+    Mutex mu;  // pairs with all_done; the counters themselves are atomic
     std::condition_variable all_done;
   };
   auto state = std::make_shared<State>();
@@ -91,7 +92,7 @@ void ParallelFor(ThreadPool* pool, size_t n,
       if (i >= state->n) return;
       state->fn(i);
       if (state->done.fetch_add(1) + 1 == state->n) {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(state->mu);
         state->all_done.notify_all();
       }
     }
@@ -99,9 +100,8 @@ void ParallelFor(ThreadPool* pool, size_t n,
   size_t helpers = std::min(pool->num_threads(), n - 1);
   for (size_t t = 0; t < helpers; ++t) pool->Submit(run);
   run();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->all_done.wait(lock,
-                       [&] { return state->done.load() == state->n; });
+  MutexLock lock(state->mu);
+  while (state->done.load() != state->n) lock.Wait(state->all_done);
 }
 
 }  // namespace cextend

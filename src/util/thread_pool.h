@@ -8,9 +8,10 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace cextend {
 
@@ -25,23 +26,23 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues `task` for execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until the queue is drained and all workers are idle.
-  void WaitAll();
+  void WaitAll() EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable all_idle_;
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
-  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written only in the constructor
 };
 
 /// Runs `fn(i)` for i in [0, n) across `pool` (or inline when pool is null),

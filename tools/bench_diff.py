@@ -69,8 +69,19 @@ def classify(record):
     return None
 
 
+def fatal(message):
+    """Input/infrastructure error: distinct from exit 1 (= perf regression)."""
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
 def load_latest(path):
-    """Latest (key -> seconds) per record key in a JSON-lines trajectory."""
+    """Latest (key -> seconds) per record key in a JSON-lines trajectory.
+
+    Malformed lines and record-free files are fatal: a truncated or empty
+    baseline would otherwise shrink the shared-key set and let the gate pass
+    vacuously, which is exactly the silent failure a perf gate must not have.
+    """
     latest = {}
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -81,15 +92,19 @@ def load_latest(path):
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError as e:
-                    print(f"warning: {path}:{line_no}: bad record ({e})",
-                          file=sys.stderr)
-                    continue
+                    fatal(f"{path}:{line_no}: malformed JSON record ({e}); "
+                          f"the trajectory is corrupt or was truncated "
+                          f"mid-append — regenerate it (see bench/README.md)")
                 kv = classify(record)
                 if kv is None or kv[1] is None:
                     continue
                 latest[kv[0]] = float(kv[1])
     except OSError as e:
-        sys.exit(f"error: cannot read {path}: {e}")
+        fatal(f"cannot read {path}: {e}")
+    if not latest:
+        fatal(f"{path}: no usable bench records; an empty baseline would "
+              f"make the gate pass vacuously — regenerate it "
+              f"(see bench/README.md)")
     return latest
 
 
@@ -231,6 +246,29 @@ def self_test():
             print("self-test FAILED: all-pairs-missing should pass "
                   "under --skip-missing")
             return 1
+
+        def gate_exit(pairs):
+            """Exit code of run_gate including fatal() SystemExits."""
+            try:
+                return run_gate(pairs, threshold=1.25, min_seconds=0.001)
+            except SystemExit as e:
+                return e.code
+
+        print("\n--- self-test: truncated baseline JSON must be fatal ---")
+        truncated = write(baseline_records)
+        with open(truncated, "a", encoding="utf-8") as f:
+            f.write('{"kernel": "PartitionColoring", "n": 4096, "seco\n')
+        if gate_exit([(truncated, good)]) != 2:
+            print("self-test FAILED: truncated baseline did not exit 2")
+            return 1
+        os.unlink(truncated)
+
+        print("\n--- self-test: record-free baseline must be fatal ---")
+        empty = write([{"unrelated": True}])
+        if gate_exit([(empty, good)]) != 2:
+            print("self-test FAILED: record-free baseline did not exit 2")
+            return 1
+        os.unlink(empty)
     finally:
         for path in (base, bad, good):
             os.unlink(path)

@@ -1,0 +1,24 @@
+// Must-not-fire fixture for D1: ordered containers are fine, and draining
+// an unordered container into a vector that is sorted before use (the
+// sorted-drain idiom) is the blessed way to iterate one.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+namespace cextend_fixture {
+
+int64_t RangeForOverOrderedMap(const std::map<int64_t, int64_t>& m) {
+  int64_t sum = 0;
+  for (const auto& kv : m) sum = sum * 31 + kv.second;
+  return sum;
+}
+
+std::vector<int64_t> SortedDrain(const std::unordered_set<int64_t>& s) {
+  std::vector<int64_t> out(s.begin(), s.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cextend_fixture

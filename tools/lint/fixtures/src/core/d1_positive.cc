@@ -1,0 +1,27 @@
+// Must-fire fixture for D1 (unordered-iteration): both loop forms iterate a
+// hash container in result-affecting code with no waiver and no sorted
+// drain, so iteration order leaks into `sum`'s accumulation sequence.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cextend_fixture {
+
+int64_t RangeForOverUnordered(const std::unordered_map<int64_t, int64_t>& m) {
+  int64_t sum = 0;
+  for (const auto& kv : m) {
+    sum = sum * 31 + kv.second;  // order-dependent fold
+  }
+  return sum;
+}
+
+int64_t IteratorLoopOverUnordered(const std::unordered_set<int64_t>& s) {
+  int64_t first = 0;
+  for (auto it = s.begin(); it != s.end(); ++it) {
+    first = *it;  // "first" element is hash-order-dependent
+    break;
+  }
+  return first;
+}
+
+}  // namespace cextend_fixture

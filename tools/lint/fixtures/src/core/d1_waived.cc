@@ -1,0 +1,15 @@
+// Waiver fixture for D1: the loop below iterates an unordered container,
+// but the waiver comment (with a mandatory reason) suppresses the finding.
+#include <cstdint>
+#include <unordered_map>
+
+namespace cextend_fixture {
+
+int64_t WaivedAccumulation(const std::unordered_map<int64_t, int64_t>& m) {
+  int64_t sum = 0;
+  // cextend-lint: unordered-iteration-ok(commutative sum; order-independent)
+  for (const auto& kv : m) sum += kv.second;
+  return sum;
+}
+
+}  // namespace cextend_fixture

@@ -1,0 +1,17 @@
+// Must-not-fire fixture for D2: value-keyed containers, value hashes, and
+// identifiers that merely contain banned substrings ("runtime", "operand").
+#include <cstdint>
+#include <functional>
+#include <map>
+
+namespace cextend_fixture {
+
+std::map<int64_t, int> g_by_value;
+
+using ValueHash = std::hash<int64_t>;
+
+double runtime(double operand) { return operand * 2.0; }
+
+double CallRuntime() { return runtime(1.0); }
+
+}  // namespace cextend_fixture

@@ -1,0 +1,24 @@
+// Must-fire fixture for D2 (banned-primitive): every declaration below is a
+// nondeterminism source that must live behind util/rng.{h,cc} or not exist.
+#include <cstdlib>
+#include <ctime>
+#include <functional>
+#include <map>
+#include <random>
+
+namespace cextend_fixture {
+
+unsigned SeedFromEntropy() {
+  std::random_device rd;  // nondeterministic entropy source
+  return rd();
+}
+
+int LegacyRand() { return rand(); }
+
+long WallClockSeed() { return time(nullptr); }
+
+using PointerHash = std::hash<int*>;  // address-dependent hash
+
+std::map<int*, int> g_by_address;  // iteration order follows addresses
+
+}  // namespace cextend_fixture

@@ -1,0 +1,29 @@
+// Must-not-fire fixture for S1: every Status-returning call is consumed —
+// assigned, returned, branched on, or explicitly voided with a reason.
+namespace cextend_fixture {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status Persist(int value);
+
+bool TryPersist() {
+  Status s = Persist(1);
+  return s.ok();
+}
+
+Status PropagatePersist() { return Persist(2); }
+
+void BranchOnPersist() {
+  if (!Persist(3).ok()) {
+    return;
+  }
+}
+
+void BestEffortPersist() {
+  (void)Persist(4);  // best-effort cache warm; failure is benign
+}
+
+}  // namespace cextend_fixture

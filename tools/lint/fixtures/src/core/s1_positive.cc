@@ -1,0 +1,29 @@
+// Must-fire fixture for S1 (status-ignored): the expression statements in
+// DropEverything() discard Status/StatusOr returns.
+namespace cextend_fixture {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class StatusOr {
+ public:
+  bool ok() const { return true; }
+};
+
+Status Persist(int value);
+StatusOr<int> Load();
+
+struct Store {
+  Status Flush();
+};
+
+void DropEverything(Store& store) {
+  Persist(7);     // discarded Status
+  Load();         // discarded StatusOr
+  store.Flush();  // discarded Status through a member call
+}
+
+}  // namespace cextend_fixture

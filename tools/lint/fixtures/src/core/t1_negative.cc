@@ -1,0 +1,21 @@
+// Must-not-fire fixture for T1: immutable statics, static functions, and a
+// waived thread_local scratch are all fine.
+#include <cstdint>
+
+namespace cextend_fixture {
+
+static constexpr int64_t kBudget = 1 << 20;
+
+static const char* const kStageName = "phase2";
+
+static int64_t Twice(int64_t x) { return 2 * x; }
+
+int64_t UseAll() {
+  // cextend-lint: static-state-ok(per-thread scratch; reset before each use,
+  // never observable in results)
+  thread_local int64_t scratch = 0;
+  scratch = Twice(kBudget);
+  return scratch + (kStageName[0] == 'p' ? 1 : 0);
+}
+
+}  // namespace cextend_fixture

@@ -1,0 +1,14 @@
+// Must-fire fixture for T1 (static-state): mutable statics in a solver
+// translation unit survive across solves, making results history-dependent.
+#include <cstdint>
+#include <vector>
+
+namespace cextend_fixture {
+
+static int64_t g_solve_counter = 0;
+
+thread_local std::vector<int64_t> t_scratch;
+
+int64_t BumpCounter() { return ++g_solve_counter; }
+
+}  // namespace cextend_fixture

@@ -1,0 +1,12 @@
+// D2 exemption fixture: util/rng.cc is the one blessed home for randomness
+// primitives, so the std::random_device below must NOT fire.
+#include <random>
+
+namespace cextend_fixture {
+
+unsigned HardwareEntropy() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace cextend_fixture
