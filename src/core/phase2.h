@@ -105,6 +105,11 @@ struct Phase2Stats {
   size_t shard_regenerations = 0;
   size_t max_shards_in_flight = 0;
   size_t peak_resident_bytes = 0;
+  /// Durable-streaming accounting (core/stream_checkpoint.h): shards whose
+  /// committed bytes were reused from the manifest instead of re-emitted
+  /// (counts the repair stage too), and manifest records fsync'd this run.
+  size_t resumed_shards = 0;
+  size_t manifest_commits = 0;
 };
 
 struct Phase2Result {

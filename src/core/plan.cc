@@ -452,4 +452,14 @@ StatusOr<PreparedPlan> PreparePlan(const SynthesisPlan& plan,
   return prepared;
 }
 
+std::vector<uint8_t> RepairPartitionFlags(const PreparedPlan& prepared) {
+  std::vector<uint8_t> flags(prepared.partitions.size(), 0);
+  for (const auto& [combo_id, group] : prepared.repair_groups) {
+    auto it =
+        prepared.partition_index.find(prepared.combos.combo_codes(combo_id));
+    if (it != prepared.partition_index.end()) flags[it->second] = 1;
+  }
+  return flags;
+}
+
 }  // namespace cextend

@@ -137,6 +137,13 @@ StatusOr<PreparedPlan> PreparePlan(const SynthesisPlan& plan,
                                    const PairSchema& names,
                                    const std::vector<DenialConstraint>& dcs);
 
+/// Per-partition flag: 1 iff the partition's combo is a repair target, i.e.
+/// the repair stage will probe against this partition's resolved colors.
+/// Shared by the shard executor (which retains those colors at retirement)
+/// and the durable stream checkpoint (which persists them per manifest
+/// record so a resumed run can still repair).
+std::vector<uint8_t> RepairPartitionFlags(const PreparedPlan& prepared);
+
 }  // namespace cextend
 
 #endif  // CEXTEND_CORE_PLAN_H_

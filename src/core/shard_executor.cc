@@ -219,33 +219,46 @@ Status TableSink::Finish() {
 
 // ---- TextStreamSink ----
 
+Status TextStreamSink::Fail(const char* what) {
+  if (status_.ok()) {
+    status_ = Status::Internal(std::string("stream write failed (") + what +
+                               "): short write or stream failbit");
+  }
+  return status_;
+}
+
 Status TextStreamSink::Begin(const PreparedPlan& prepared) {
+  if (!status_.ok()) return status_;
   out_ << "cextend-stream v1 rows=" << prepared.plan->num_rows
        << " b=" << prepared.plan->b_names.size()
        << " seed=" << prepared.plan->seed << "\n";
-  return out_.good() ? Status::Ok() : Status::Internal("stream write failed");
+  return out_.good() ? Status::Ok() : Fail("header");
 }
 
 Status TextStreamSink::Consume(const ResolvedShard& shard) {
+  if (!status_.ok()) return status_;
   for (const ResolvedShard::Block& block : shard.blocks) {
     for (ShardRow r : block.rows) {
       out_ << "r " << r.row << " " << r.key << "\n";
       ++rows_written_;
+      if (!out_.good()) return Fail("row record");
     }
     for (const ResolvedShard::NewTuple& t : block.new_tuples) {
       out_ << "n " << t.key;
       for (int64_t code : t.combo) out_ << " " << code;
       out_ << "\n";
       ++tuples_written_;
+      if (!out_.good()) return Fail("tuple record");
     }
   }
-  return out_.good() ? Status::Ok() : Status::Internal("stream write failed");
+  return Status::Ok();
 }
 
 Status TextStreamSink::Finish() {
+  if (!status_.ok()) return status_;
   out_ << "end rows=" << rows_written_ << " new=" << tuples_written_ << "\n";
   out_.flush();
-  return out_.good() ? Status::Ok() : Status::Internal("stream write failed");
+  return out_.good() ? Status::Ok() : Fail("trailer");
 }
 
 // ---- TeeSink ----
@@ -356,9 +369,17 @@ StatusOr<ShardOutput> EmitShard(const PreparedPlan& prepared, size_t shard_id,
 // ---- ExecutePlan ----
 
 StatusOr<Phase2Stats> ExecutePlan(const PreparedPlan& prepared,
-                                  const Phase2Options& options, RowSink* sink) {
+                                  const Phase2Options& options, RowSink* sink,
+                                  const ExecuteResume& resume) {
   const SynthesisPlan& plan = *prepared.plan;
   const size_t num_shards = plan.num_shards();
+  if (resume.first_shard > num_shards) {
+    return Status::InvalidArgument("resume.first_shard past the shard count");
+  }
+  if (resume.repair_done && resume.first_shard != num_shards) {
+    return Status::InvalidArgument(
+        "resume says repair retired but partition shards are missing");
+  }
   CEXTEND_RETURN_IF_ERROR(sink->Begin(prepared));
 
   std::unique_ptr<ThreadPool> pool;
@@ -370,28 +391,31 @@ StatusOr<Phase2Stats> ExecutePlan(const PreparedPlan& prepared,
   // retained at retirement — the only per-row state the repair stage needs,
   // replacing the monolithic solver's whole-database color array + retained
   // oracles (repair probes on the reuse path evaluate the DCs directly).
-  std::vector<uint8_t> is_repair_partition(prepared.partitions.size(), 0);
-  for (const auto& [combo_id, group] : prepared.repair_groups) {
-    auto it =
-        prepared.partition_index.find(prepared.combos.combo_codes(combo_id));
-    if (it != prepared.partition_index.end()) {
-      is_repair_partition[it->second] = 1;
-    }
-  }
+  const std::vector<uint8_t> is_repair_partition =
+      RepairPartitionFlags(prepared);
 
   const size_t window = options.max_resident_shards == 0
                             ? std::max<size_t>(1, num_shards)
                             : std::max<size_t>(1, options.max_resident_shards);
+  const size_t remaining_shards = num_shards - resume.first_shard;
   const size_t workers = std::max<size_t>(
-      1, std::min({std::max<size_t>(1, options.num_threads), num_shards,
+      1, std::min({std::max<size_t>(1, options.num_threads), remaining_shards,
                    window}));
 
   ExecState st;
   {
     MutexLock lock(st.mu);
-    st.next_key = prepared.fresh_base;
+    st.next_admit = resume.first_shard;
+    st.next_retire = resume.first_shard;
+    st.next_key =
+        resume.next_key >= 0 ? resume.next_key : prepared.fresh_base;
     st.charged.assign(num_shards, 0);
     st.completed.resize(num_shards);
+    // cextend-lint: unordered-iteration-ok(source is the resume point's
+    // sorted vector, not the map; keyed assignment is order-independent)
+    for (const auto& rc : resume.repair_colors) {
+      st.repair_colors[rc.first] = rc.second;
+    }
     st.stats.num_partitions = prepared.partitions.size();
     st.stats.invalid_rows = plan.invalid_rows.size();
   }
@@ -512,8 +536,11 @@ StatusOr<Phase2Stats> ExecutePlan(const PreparedPlan& prepared,
   // repaired rows are vertices no coloring oracle ever saw), a freshly built
   // per-combo oracle, or direct scans when a rebuild trips a resource cap.
   // All three answer the identical question, so the chosen keys are
-  // bit-identical across them (equivalence-tested).
-  {
+  // bit-identical across them (equivalence-tested). Skipped entirely when the
+  // resume state says the repair shard already retired — then only the sink
+  // trailer below is (re)written, healing a crash between the repair commit
+  // and the trailer.
+  if (!resume.repair_done) {
     ScopedTimer timer(&stats.invalid_seconds);
     ResolvedShard repair;
     repair.shard_id = num_shards;

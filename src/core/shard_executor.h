@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/phase2.h"
@@ -139,16 +140,33 @@ class TableSink : public RowSink {
 ///
 /// No shard or block framing appears in the stream, so the bytes are
 /// identical for every (shard count, max_resident_shards, thread count).
+/// Every write is checked: a failbit/short write surfaces as an Internal
+/// Status from the call that hit it, and the failure is sticky — later calls
+/// return the same status instead of writing past the corruption.
 class TextStreamSink : public RowSink {
  public:
   explicit TextStreamSink(std::ostream& out) : out_(out) {}
+
+  /// Seeds the trailer counters when resuming over a durable prefix that
+  /// already holds `rows` row records and `tuples` new-tuple records, so the
+  /// resumed trailer equals the uninterrupted one.
+  void ResumeCounts(size_t rows, size_t tuples) {
+    rows_written_ = rows;
+    tuples_written_ = tuples;
+  }
 
   Status Begin(const PreparedPlan& prepared) override;
   Status Consume(const ResolvedShard& shard) override;
   Status Finish() override;
 
+  size_t rows_written() const { return rows_written_; }
+  size_t tuples_written() const { return tuples_written_; }
+
  private:
+  Status Fail(const char* what);
+
   std::ostream& out_;
+  Status status_;  ///< sticky first failure
   size_t rows_written_ = 0;
   size_t tuples_written_ = 0;
 };
@@ -178,15 +196,39 @@ StatusOr<ShardOutput> EmitShard(const PreparedPlan& prepared, size_t shard_id,
                                 const Phase2Options& options,
                                 ThreadPool* pool = nullptr);
 
+/// Restart state for ExecutePlan when resuming over a durable prefix (see
+/// src/core/stream_checkpoint.h, which derives one from a CXMF manifest).
+/// Default-constructed = a fresh run. Because shards are pure functions of
+/// (plan, shard id) and renumbering is in retirement order, an execution
+/// resumed from this state produces exactly the bytes the uninterrupted run
+/// would have appended after the checkpoint.
+struct ExecuteResume {
+  /// First shard to emit; shards [0, first_shard) count as already retired
+  /// through the sink.
+  size_t first_shard = 0;
+  /// Fresh-key counter after the retired prefix (< 0 = prepared.fresh_base).
+  int64_t next_key = -1;
+  /// True when the repair stage also retired before the checkpoint — only
+  /// the sink trailer (Finish) remains.
+  bool repair_done = false;
+  /// Retained (row, key) colors of repair-target partitions from the retired
+  /// prefix, in retirement order.
+  std::vector<std::pair<uint32_t, int64_t>> repair_colors;
+};
+
 /// Runs every shard plus the repair stage through `sink` under the bounded
 /// admission policy: at most max(1, options.max_resident_shards) shards in
 /// flight (0 = unbounded), retired strictly in shard order. Emission
 /// parallelism = min(threads, shards, window). A shard whose emission fails
 /// is regenerated in place (up to 2 retries; deadline/cancel excepted),
 /// counted in Phase2Stats::shard_regenerations. Timings, ladder counters,
-/// and memory high-water marks are returned in the stats.
+/// and memory high-water marks are returned in the stats. `resume` restarts
+/// the run at resume.first_shard with the checkpointed fresh-key counter and
+/// repair colors; stats then cover only the work actually redone (except
+/// new_r2_tuples, which stays the whole-run total).
 StatusOr<Phase2Stats> ExecutePlan(const PreparedPlan& prepared,
-                                  const Phase2Options& options, RowSink* sink);
+                                  const Phase2Options& options, RowSink* sink,
+                                  const ExecuteResume& resume = {});
 
 }  // namespace cextend
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/shard_executor.h"
+#include "core/stream_checkpoint.h"
 #include "util/timer.h"
 
 namespace cextend {
@@ -17,6 +18,31 @@ Phase2Options EffectivePhase2Options(const SolverOptions& options) {
     phase2.run_control = options.run_control;
   }
   return phase2;
+}
+
+/// Shared tail of the execution entry points: folds planning timings and the
+/// executed phase-2 stats into the solve record and moves the collected
+/// tables out of the sink.
+Solution FinishSolution(PlannedCExtension&& planned, SolveStats stats,
+                        Phase2Stats phase2_stats,
+                        const Phase2Options& phase2_options,
+                        TableSink&& table_sink, double phase2_elapsed,
+                        double total_elapsed) {
+  phase2_stats.partition_seconds += stats.phase2.partition_seconds;
+  phase2_stats.invalid_seconds += stats.phase2.invalid_seconds;
+  stats.phase2 = phase2_stats;
+  stats.phase2_seconds = planned.plan_build_seconds + phase2_elapsed;
+
+  stats.ladder.naive_oracle_fallbacks = phase2_stats.naive_oracle_fallbacks;
+  stats.ladder.biclique_overflows = phase2_stats.biclique_overflows;
+  stats.ladder.scan_probe_repairs = phase2_stats.scan_probe_repairs;
+  stats.ladder.shard_regenerations = phase2_stats.shard_regenerations;
+  stats.ladder.forced_naive_oracle = phase2_options.use_naive_oracle;
+  stats.total_seconds += total_elapsed;
+
+  return Solution{std::move(table_sink.r1_hat()),
+                  std::move(table_sink.r2_hat()), std::move(planned.v_join),
+                  stats};
 }
 
 }  // namespace
@@ -95,22 +121,32 @@ StatusOr<Solution> ExecuteCExtensionPlan(
                                  : static_cast<RowSink*>(&table_sink);
   CEXTEND_ASSIGN_OR_RETURN(Phase2Stats phase2_stats,
                            ExecutePlan(prepared, phase2_options, sink));
-  phase2_stats.partition_seconds += stats.phase2.partition_seconds;
-  phase2_stats.invalid_seconds += stats.phase2.invalid_seconds;
-  stats.phase2 = phase2_stats;
-  stats.phase2_seconds = planned.plan_build_seconds +
-                         phase2_watch.ElapsedSeconds();
+  return FinishSolution(std::move(planned), std::move(stats),
+                        std::move(phase2_stats), phase2_options,
+                        std::move(table_sink), phase2_watch.ElapsedSeconds(),
+                        total_watch.ElapsedSeconds());
+}
 
-  stats.ladder.naive_oracle_fallbacks = phase2_stats.naive_oracle_fallbacks;
-  stats.ladder.biclique_overflows = phase2_stats.biclique_overflows;
-  stats.ladder.scan_probe_repairs = phase2_stats.scan_probe_repairs;
-  stats.ladder.shard_regenerations = phase2_stats.shard_regenerations;
-  stats.ladder.forced_naive_oracle = phase2_options.use_naive_oracle;
-  stats.total_seconds += total_watch.ElapsedSeconds();
+StatusOr<Solution> ExecuteCExtensionPlanDurable(
+    PlannedCExtension&& planned, const Table& r1, const Table& r2,
+    const PairSchema& names, const std::vector<DenialConstraint>& dcs,
+    const DurableStreamSpec& stream, const SolverOptions& options) {
+  Stopwatch total_watch;
+  SolveStats stats = planned.stats;
+  Phase2Options phase2_options = EffectivePhase2Options(options);
 
-  return Solution{std::move(table_sink.r1_hat()),
-                  std::move(table_sink.r2_hat()), std::move(planned.v_join),
-                  stats};
+  Stopwatch phase2_watch;
+  CEXTEND_ASSIGN_OR_RETURN(
+      PreparedPlan prepared,
+      PreparePlan(planned.plan, planned.v_join, r2, names, dcs));
+  TableSink table_sink(r1, r2, names);
+  CEXTEND_ASSIGN_OR_RETURN(
+      Phase2Stats phase2_stats,
+      ExecutePlanDurable(prepared, phase2_options, stream, &table_sink));
+  return FinishSolution(std::move(planned), std::move(stats),
+                        std::move(phase2_stats), phase2_options,
+                        std::move(table_sink), phase2_watch.ElapsedSeconds(),
+                        total_watch.ElapsedSeconds());
 }
 
 StatusOr<Solution> SolveCExtension(const Table& r1, const Table& r2,

@@ -22,6 +22,7 @@
 namespace cextend {
 
 class RowSink;
+struct DurableStreamSpec;
 
 struct SolverOptions {
   HybridOptions phase1;
@@ -74,6 +75,18 @@ StatusOr<Solution> ExecuteCExtensionPlan(
     PlannedCExtension&& planned, const Table& r1, const Table& r2,
     const PairSchema& names, const std::vector<DenialConstraint>& dcs,
     const SolverOptions& options = {}, RowSink* tee = nullptr);
+
+/// Stage 2 with crash-safe durable streaming (core/stream_checkpoint.h): the
+/// text stream goes to stream.stream_path with an fsync'd CXMF sidecar
+/// manifest committed at every shard retirement. With stream.resume set, the
+/// run restarts from the manifest's committed prefix — the in-memory tables
+/// are rebuilt by replaying the durable bytes, and the final stream is
+/// byte-identical to an uninterrupted run. The plan must be the one the
+/// manifest was written for (the plan digest is checked).
+StatusOr<Solution> ExecuteCExtensionPlanDurable(
+    PlannedCExtension&& planned, const Table& r1, const Table& r2,
+    const PairSchema& names, const std::vector<DenialConstraint>& dcs,
+    const DurableStreamSpec& stream, const SolverOptions& options = {});
 
 /// Solves C-Extension for the linked pair. `r1.fk` cells are ignored (they
 /// are being synthesized); all other inputs are read-only. Equivalent to

@@ -37,6 +37,10 @@ std::string SolveStats::Summary() const {
   out += StrFormat(" mem(peak_resident=%zuB shards=%zu inflight_hwm=%zu)",
                    phase2.peak_resident_bytes, phase2.shards_emitted,
                    phase2.max_shards_in_flight);
+  if (phase2.resumed_shards > 0 || phase2.manifest_commits > 0) {
+    out += StrFormat(" durable(resumed=%zu commits=%zu)",
+                     phase2.resumed_shards, phase2.manifest_commits);
+  }
   if (ladder.AnyDegradation()) {
     out += StrFormat(
         " ladder(naive=%zu biclique_overflow=%zu cold=%zu scan_probe=%zu"

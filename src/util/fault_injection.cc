@@ -129,6 +129,24 @@ uint64_t FaultInjection::FiredCount(const std::string& site) const {
   return it->second.fired.load(std::memory_order_relaxed);
 }
 
+const std::vector<std::string>& FaultInjection::KnownSites() {
+  static const std::vector<std::string>* kSites = new std::vector<std::string>{
+      "dual.warm_start",
+      "manifest.commit",
+      "oracle.build",
+      "oracle.pair_budget",
+      "phase2.repair_oracle",
+      "pool.alloc",
+      "shard.emit",
+      "simplex.iteration_cap",
+      "simplex.refactor",
+      "sink.flush",
+      "sink.torn_write",
+      "sink.write",
+  };
+  return *kSites;
+}
+
 std::vector<std::string> FaultInjection::ArmedSites() const {
   MutexLock lock(impl_->mu);
   std::vector<std::string> out;

@@ -28,6 +28,11 @@
 //   phase2.repair_oracle  per-combo repair-oracle rebuild
 //   pool.alloc            conflict-entry pool charge
 //   shard.emit            shard emission (executor regenerates from plan)
+//   sink.write            durable stream append (fails before any byte lands)
+//   sink.torn_write       durable stream append torn mid-record (half the
+//                         payload reaches the file, then the write fails)
+//   sink.flush            durable stream flush/fsync at a commit boundary
+//   manifest.commit       manifest record append+fsync at shard retirement
 
 #ifndef CEXTEND_UTIL_FAULT_INJECTION_H_
 #define CEXTEND_UTIL_FAULT_INJECTION_H_
@@ -61,6 +66,12 @@ class FaultInjection {
 
   /// Sites currently armed (for diagnostics).
   std::vector<std::string> ArmedSites() const;
+
+  /// Every site name registered in the codebase, sorted. This is the
+  /// authoritative list the registry/doc sync test checks against the
+  /// CEXTEND_INJECT_FAULT call sites in src/, the site table in
+  /// src/core/README.md, and the comment at the top of this header.
+  static const std::vector<std::string>& KnownSites();
 
   /// True when the build has fault injection compiled in.
   static constexpr bool CompiledIn() {

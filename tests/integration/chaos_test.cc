@@ -9,12 +9,17 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "constraints/metrics.h"
+#include "core/plan.h"
 #include "core/solver.h"
+#include "core/stream_checkpoint.h"
 #include "datagen/census.h"
 #include "datagen/constraint_gen.h"
 #include "ilp/branch_and_bound.h"
@@ -308,6 +313,108 @@ TEST(ChaosLadderTest, ShardEmitFaultRegeneratesLostShardsBitIdentical) {
     ++exercised;
   }
   EXPECT_GE(exercised, 1) << "no fault seed produced a regenerated shard";
+}
+
+// The crash/resume rung at the solver level: interrupt a durable streaming
+// solve (ExecuteCExtensionPlanDurable) with each sink-I/O fault site, resume
+// until it completes, and require the stream bytes *and* the synthesized
+// tables to be identical to an uninterrupted run. The plan is built once and
+// reconstituted from its serialized bytes each round — the same plan-cache
+// discipline the CLI retry ladder uses.
+TEST(ChaosStreamingTest, InterruptedDurableSolveResumesBitIdentical) {
+  if (!FaultInjection::CompiledIn()) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  const Instance& instance = SweepInstance();
+  SolverOptions options;
+  options.seed = 11;
+  options.phase2.num_threads = 2;
+  options.phase2.num_shards = 6;
+  options.phase2.max_resident_shards = 2;
+
+  auto first = PlanCExtension(instance.data.persons, instance.data.housing,
+                              instance.data.names, instance.ccs, instance.dcs,
+                              options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  const std::string plan_bytes = first->plan.Serialize();
+  const Table v_join_master = first->v_join.Clone();
+  const SolveStats plan_stats = first->stats;
+  const double plan_seconds = first->plan_build_seconds;
+  auto remake = [&]() {
+    auto plan = SynthesisPlan::Deserialize(plan_bytes);
+    CEXTEND_CHECK(plan.ok()) << plan.status().ToString();
+    return PlannedCExtension{std::move(plan).value(), v_join_master.Clone(),
+                             plan_stats, plan_seconds};
+  };
+  auto read_bytes = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    CEXTEND_CHECK(in.is_open()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+
+  DurableStreamSpec ref_spec;
+  ref_spec.stream_path = ::testing::TempDir() + "/chaos_solver_ref.stream";
+  ref_spec.manifest_path = ref_spec.stream_path + ".manifest";
+  auto reference = ExecuteCExtensionPlanDurable(
+      remake(), instance.data.persons, instance.data.housing,
+      instance.data.names, instance.dcs, ref_spec, options);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  const std::string reference_stream = read_bytes(ref_spec.stream_path);
+
+  const char* const kSinkSites[] = {"sink.write", "sink.torn_write",
+                                    "sink.flush", "manifest.commit"};
+  for (const char* site : kSinkSites) {
+    SCOPED_TRACE(site);
+    std::string tag(site);
+    for (char& c : tag) {
+      if (c == '.') c = '_';
+    }
+    DurableStreamSpec spec;
+    spec.stream_path = ::testing::TempDir() + "/chaos_solver_" + tag +
+                       ".stream";
+    spec.manifest_path = spec.stream_path + ".manifest";
+    spec.resume = true;
+    std::remove(spec.stream_path.c_str());
+    std::remove(spec.manifest_path.c_str());
+
+    uint64_t fired = 0;
+    StatusOr<Solution> resumed = Status::Internal("unset");
+    constexpr int kMaxRounds = 20;
+    for (int round = 0; round < kMaxRounds && !resumed.ok(); ++round) {
+      const bool armed = round < kMaxRounds - 2;
+      ScopedFaults faults(armed ? std::string(site) + "=0.4" : "",
+                          /*seed=*/500 + round);
+      resumed = ExecuteCExtensionPlanDurable(
+          remake(), instance.data.persons, instance.data.housing,
+          instance.data.names, instance.dcs, spec, options);
+      fired += FaultInjection::Global().FiredCount(site);
+      if (!resumed.ok()) {
+        ASSERT_EQ(resumed.status().code(), StatusCode::kInternal)
+            << resumed.status();
+      }
+    }
+    ASSERT_TRUE(resumed.ok()) << resumed.status();
+    EXPECT_GT(fired, 0u) << site << " never fired";
+    EXPECT_EQ(read_bytes(spec.stream_path), reference_stream);
+    ExpectVerifierClean(instance, *resumed, site);
+    size_t hid_col = reference->r1_hat.schema().IndexOrDie("hid");
+    ASSERT_EQ(resumed->r1_hat.NumRows(), reference->r1_hat.NumRows());
+    for (size_t r = 0; r < reference->r1_hat.NumRows(); ++r) {
+      ASSERT_EQ(resumed->r1_hat.GetCode(r, hid_col),
+                reference->r1_hat.GetCode(r, hid_col))
+          << "resume divergence at row " << r;
+    }
+    ASSERT_EQ(resumed->r2_hat.NumRows(), reference->r2_hat.NumRows());
+    for (size_t r = 0; r < reference->r2_hat.NumRows(); ++r) {
+      for (size_t c = 0; c < reference->r2_hat.NumColumns(); ++c) {
+        ASSERT_EQ(resumed->r2_hat.GetCode(r, c),
+                  reference->r2_hat.GetCode(r, c))
+            << "r2_hat divergence at row " << r;
+      }
+    }
+  }
 }
 
 // ---- Deadline / cancellation contract (no fault injection required). ----

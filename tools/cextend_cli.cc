@@ -8,21 +8,31 @@
 //               [--out-r1=r1_hat.csv] [--out-r2=r2_hat.csv]
 //               [--out-join=v_join.csv] [--seed=N] [--threads=N]
 //               [--timeout-ms=N] [--max-attempts=N]
-//               [--stream-out=PATH] [--shards=N] [--max-resident-shards=K]
+//               [--stream-out=PATH] [--manifest=PATH] [--resume]
+//               [--shards=N] [--max-resident-shards=K]
 //               [--method=hybrid|baseline|baseline-marginals]
 //
 // --timeout-ms bounds each solve attempt with a monotonic deadline (expiry
 // returns DEADLINE_EXCEEDED). On resource-style failures the CLI retries
 // down a degradation ladder (naive oracle, cold solves, dense tableau,
 // monolithic ILP — cumulative), up to --max-attempts attempts; every rung
-// yields the same database for a fixed seed.
+// yields the same database for a fixed seed. The plan is built once and
+// cached in serialized form, so retries only re-execute shards, never
+// phase 1 or planning (unless planning itself failed).
 //
 // --stream-out streams phase 2 to PATH as shards retire from the
 // bounded-memory executor (format: src/core/shard_executor.h), instead of
 // only materializing tables at the end; --shards / --max-resident-shards
 // pick the shard count and admission window (0 = auto / unbounded). The
-// stream bytes are identical for any shard geometry and thread count. A
-// retried attempt truncates the file and restarts the stream cleanly.
+// stream bytes are identical for any shard geometry and thread count.
+//
+// Streaming is durable (src/core/stream_checkpoint.h): a sidecar CXMF
+// manifest (--manifest, default <stream-out>.manifest) is fsync'd at every
+// shard retirement. --resume restarts an interrupted run from the last
+// committed shard boundary instead of from scratch, and a retried attempt
+// likewise resumes from the durable prefix — degradation rungs only apply
+// to shards that have not retired yet. The resumed stream is byte-identical
+// to an uninterrupted run.
 //
 // The spec file holds one constraint per line (see constraints/parser.h):
 //     cc chicago_owners: COUNT(Rel = "Owner" & Area = "Chicago") = 4
@@ -32,14 +42,17 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "constraints/metrics.h"
 #include "constraints/parser.h"
 #include "core/baseline.h"
 #include "core/shard_executor.h"
 #include "core/solver.h"
+#include "core/stream_checkpoint.h"
 #include "relational/csv.h"
 #include "util/string_util.h"
 
@@ -56,6 +69,8 @@ struct CliArgs {
   std::string out_join;
   std::string method = "hybrid";
   std::string stream_out;        // empty = no streaming sink
+  std::string manifest;          // empty = <stream_out>.manifest
+  bool resume = false;           // continue from the durable prefix
   uint64_t seed = 1;
   size_t threads = 1;
   size_t shards = 0;             // 0 = auto
@@ -139,8 +154,8 @@ int Usage(const char* argv0) {
       "          [--out-r1=CSV] [--out-r2=CSV] [--out-join=CSV] \\\n"
       "          [--seed=N] [--threads=N] [--timeout-ms=N] "
       "[--max-attempts=N] \\\n"
-      "          [--stream-out=PATH] [--shards=N] "
-      "[--max-resident-shards=K] \\\n"
+      "          [--stream-out=PATH] [--manifest=PATH] [--resume] "
+      "[--shards=N] [--max-resident-shards=K] \\\n"
       "          [--method=hybrid|baseline|baseline-marginals]\n",
       argv0);
   return 2;
@@ -179,36 +194,67 @@ Status Run(const CliArgs& args) {
         "--stream-out requires --method=hybrid (baselines have no "
         "plan/execute split)");
   }
+  if (args.resume && args.stream_out.empty()) {
+    return Status::InvalidArgument(
+        "--resume requires --stream-out (only streamed runs are durable)");
+  }
   size_t max_attempts = std::min(std::max<size_t>(args.max_attempts, 1),
                                  kNumRungs);
+  // The plan is identical on every rung (degraded paths are equivalence-
+  // tested), so it is built once and cached in serialized form; retries
+  // deserialize it and jump straight to shard execution.
+  struct PlanCache {
+    std::string plan_bytes;
+    std::optional<Table> v_join;
+    SolveStats stats;
+    double plan_build_seconds = 0.0;
+  };
+  PlanCache cache;
+  // Whether the next streaming attempt continues from the durable prefix:
+  // --resume opts in up front, and any streaming attempt that got far enough
+  // to commit manifest records makes the *retry* resume (degradation rungs
+  // then only apply to shards that never retired).
+  bool resume_stream = args.resume;
+  auto attempt_hybrid = [&](const SolverOptions& options)
+      -> StatusOr<Solution> {
+    StatusOr<PlannedCExtension> planned = Status::Internal("unset");
+    if (cache.v_join.has_value()) {
+      CEXTEND_ASSIGN_OR_RETURN(SynthesisPlan plan,
+                               SynthesisPlan::Deserialize(cache.plan_bytes));
+      planned = PlannedCExtension{std::move(plan), cache.v_join->Clone(),
+                                  cache.stats, cache.plan_build_seconds};
+    } else {
+      planned = PlanCExtension(r1, r2, names, spec.ccs, spec.dcs, options);
+      if (planned.ok()) {
+        cache.plan_bytes = planned->plan.Serialize();
+        cache.v_join = planned->v_join.Clone();
+        cache.stats = planned->stats;
+        cache.plan_build_seconds = planned->plan_build_seconds;
+      }
+    }
+    CEXTEND_RETURN_IF_ERROR(planned.status());
+    if (args.stream_out.empty()) {
+      return ExecuteCExtensionPlan(std::move(planned).value(), r1, r2, names,
+                                   spec.dcs, options);
+    }
+    DurableStreamSpec stream;
+    stream.stream_path = args.stream_out;
+    stream.manifest_path = args.manifest;
+    stream.resume = resume_stream;
+    resume_stream = true;  // whatever this attempt committed stays durable
+    return ExecuteCExtensionPlanDurable(std::move(planned).value(), r1, r2,
+                                        names, spec.dcs, stream, options);
+  };
   StatusOr<Solution> solution = Status::Internal("unset");
   for (size_t rung = 0; rung < max_attempts; ++rung) {
     SolverOptions options = OptionsForAttempt(args, rung);
     if (rung > 0) {
-      std::fprintf(stderr, "retrying with %s (attempt %zu/%zu)\n",
-                   kRungLabels[rung], rung + 1, max_attempts);
+      std::fprintf(stderr, "retrying with %s (attempt %zu/%zu)%s\n",
+                   kRungLabels[rung], rung + 1, max_attempts,
+                   cache.v_join.has_value() ? ", reusing cached plan" : "");
     }
     if (args.method == "hybrid") {
-      if (args.stream_out.empty()) {
-        solution = SolveCExtension(r1, r2, names, spec.ccs, spec.dcs, options);
-      } else {
-        // Streaming mode: plan, then tee every retired shard to the file.
-        // Each attempt truncates and restarts the stream, so a degraded
-        // retry leaves a clean, complete stream rather than a torn one.
-        solution = [&]() -> StatusOr<Solution> {
-          std::ofstream stream(args.stream_out,
-                               std::ios::binary | std::ios::trunc);
-          if (!stream) {
-            return Status::InvalidArgument("cannot open " + args.stream_out);
-          }
-          CEXTEND_ASSIGN_OR_RETURN(
-              PlannedCExtension planned,
-              PlanCExtension(r1, r2, names, spec.ccs, spec.dcs, options));
-          TextStreamSink sink(stream);
-          return ExecuteCExtensionPlan(std::move(planned), r1, r2, names,
-                                       spec.dcs, options, &sink);
-        }();
-      }
+      solution = attempt_hybrid(options);
     } else if (args.method == "baseline") {
       solution = SolveBaseline(r1, r2, names, spec.ccs, spec.dcs,
                                BaselineKind::kPlain, options);
@@ -280,6 +326,8 @@ int main(int argc, char** argv) {
     else if (const char* v = value("--out-join=")) args.out_join = v;
     else if (const char* v = value("--method=")) args.method = v;
     else if (const char* v = value("--stream-out=")) args.stream_out = v;
+    else if (const char* v = value("--manifest=")) args.manifest = v;
+    else if (strcmp(arg, "--resume") == 0) args.resume = true;
     else if (const char* v = value("--seed=")) args.seed = strtoull(v, nullptr, 10);
     else if (const char* v = value("--threads=")) args.threads = strtoull(v, nullptr, 10);
     else if (const char* v = value("--shards=")) args.shards = strtoull(v, nullptr, 10);
